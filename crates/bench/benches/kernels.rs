@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the geometric kernels: the SAT variants
+//! whose unit-cost gap motivates the two-stage collision scheme, and the
+//! MINDIST bound behind SI-MBR search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moped_geometry::{sat, Aabb, Config, Mat3, Obb, OpCount, Rect, Vec3};
+use std::hint::black_box;
+
+fn bench_sat(c: &mut Criterion) {
+    let a3 = Obb::from_euler(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.5), 0.3, 0.6, -0.2);
+    let b3 = Obb::from_euler(Vec3::new(1.5, 1.0, 0.2), Vec3::new(0.5, 1.5, 1.0), -0.7, 0.1, 0.9);
+    let aabb = Aabb::from_center_half(Vec3::ZERO, Vec3::splat(2.0));
+    let a2 = Obb::planar(Vec3::ZERO, 2.0, 1.0, 0.4);
+    let b2 = Obb::planar(Vec3::new(1.0, 0.5, 0.0), 1.0, 1.5, -0.3);
+
+    let mut g = c.benchmark_group("sat");
+    g.bench_function("obb_obb_3d", |b| {
+        b.iter(|| {
+            let mut ops = OpCount::default();
+            black_box(sat::obb_obb(black_box(&a3), black_box(&b3), &mut ops))
+        })
+    });
+    g.bench_function("aabb_obb_3d", |b| {
+        b.iter(|| {
+            let mut ops = OpCount::default();
+            black_box(sat::aabb_obb(black_box(&aabb), black_box(&b3), &mut ops))
+        })
+    });
+    g.bench_function("obb_obb_2d", |b| {
+        b.iter(|| {
+            let mut ops = OpCount::default();
+            black_box(sat::obb_obb(black_box(&a2), black_box(&b2), &mut ops))
+        })
+    });
+    g.finish();
+}
+
+fn bench_mindist(c: &mut Criterion) {
+    let rect = Rect::new(
+        Config::new(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        Config::new(&[5.0, 4.0, 3.0, 2.0, 1.0, 6.0, 7.0]),
+    );
+    let q = Config::new(&[8.0, -2.0, 1.5, 9.0, 0.5, 3.0, -1.0]);
+    c.bench_function("mindist_7d", |b| {
+        b.iter(|| {
+            let mut ops = OpCount::default();
+            black_box(rect.mindist_sq(black_box(&q), &mut ops))
+        })
+    });
+}
+
+fn bench_rotation(c: &mut Criterion) {
+    c.bench_function("euler_rotation_build", |b| {
+        b.iter(|| black_box(Mat3::from_euler(black_box(0.3), black_box(0.5), black_box(-0.2))))
+    });
+}
+
+criterion_group!(benches, bench_sat, bench_mindist, bench_rotation);
+criterion_main!(benches);

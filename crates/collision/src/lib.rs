@@ -1,0 +1,471 @@
+//! Motion collision checking for MOPED.
+//!
+//! RRT\* must verify the *entire movement course* between configurations,
+//! so every planner query here is a motion query: the straight segment is
+//! discretized into poses, forward kinematics produces the robot's body
+//! OBBs at each pose, and each body is tested against the obstacle field.
+//! Three checkers implement that contract:
+//!
+//! * [`NaiveChecker`] — the baseline: every body × every obstacle gets an
+//!   exact OBB–OBB SAT at every pose. This is what the profiled RRT\*
+//!   breakdown (Fig 3) spends most of its time in.
+//! * [`TwoStageChecker`] — MOPED's §III-A scheme: an offline-built STR
+//!   R-tree over obstacle AABBs filters with cheap AABB–OBB checks
+//!   (stage 1); only survivors get the exact OBB–OBB check (stage 2).
+//! * [`TwoStageChecker`] in [`SecondStage::AabbOnly`] mode — the Fig 18
+//!   ablation: survivors of the first stage are *declared* collisions
+//!   (loose, conservative), trading path quality for check cost.
+//!
+//! All work is charged to a [`CollisionLedger`] so the Fig 6 / Fig 18
+//! comparisons come from counted operations.
+
+#![deny(missing_docs)]
+
+pub mod parallel;
+
+use std::fmt;
+
+use moped_geometry::{sat, Config, InterpolationSteps, Obb, OpCount};
+use moped_robot::Robot;
+use moped_rtree::{FilterStats, RTree};
+
+/// Accounting for collision work, split by pipeline stage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CollisionLedger {
+    /// Arithmetic charged by first-stage (AABB–OBB / R-tree) work.
+    pub first_stage: OpCount,
+    /// Arithmetic charged by second-stage (exact OBB–OBB) work.
+    pub second_stage: OpCount,
+    /// Motion-level queries issued by the planner.
+    pub motion_queries: u64,
+    /// Individual poses checked across all motions.
+    pub pose_queries: u64,
+    /// R-tree traversal statistics accumulated over all first stages.
+    pub filter: FilterStats,
+}
+
+impl CollisionLedger {
+    /// Sum of both stages' arithmetic.
+    pub fn total_ops(&self) -> OpCount {
+        self.first_stage + self.second_stage
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = CollisionLedger::default();
+    }
+}
+
+impl fmt::Display for CollisionLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} motions, {} poses, {} MAC-equiv",
+            self.motion_queries,
+            self.pose_queries,
+            self.total_ops().mac_equiv()
+        )
+    }
+}
+
+/// The checking interface the planners consume.
+///
+/// Implementations must be *sound*: a motion reported free must have no
+/// checked pose in collision under the checker's obstacle representation.
+/// Conservative over-reporting of collisions (as AABB relaxations do) is
+/// allowed and is exactly the path-quality trade-off Fig 5/18 studies.
+pub trait CollisionChecker {
+    /// Returns `true` if configuration `q` is collision free.
+    fn config_free(&self, robot: &Robot, q: &Config, ledger: &mut CollisionLedger) -> bool;
+
+    /// Returns `true` if the straight motion `from → to` is collision
+    /// free at the given discretization.
+    ///
+    /// The default implementation interpolates poses and checks each one,
+    /// failing fast on the first colliding pose.
+    fn motion_free(
+        &self,
+        robot: &Robot,
+        from: &Config,
+        to: &Config,
+        steps: &InterpolationSteps,
+        ledger: &mut CollisionLedger,
+    ) -> bool {
+        ledger.motion_queries += 1;
+        // Poses are generated in place (same sequence as
+        // [`moped_geometry::interpolate`]) so the hot loop never allocates.
+        let n = steps.count(from.distance(to));
+        for i in 1..=n {
+            let pose = if i == n {
+                *to
+            } else {
+                from.lerp(to, i as f64 / n as f64)
+            };
+            ledger.pose_queries += 1;
+            if !self.config_free(robot, &pose, ledger) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Short descriptive name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Baseline all-pairs exact checker: every robot body OBB against every
+/// obstacle OBB, 15-axis SAT each (4-axis for the planar workload).
+#[derive(Clone, Debug)]
+pub struct NaiveChecker {
+    obstacles: Vec<Obb>,
+    bodies: std::cell::RefCell<Vec<Obb>>,
+}
+
+impl NaiveChecker {
+    /// Creates a checker over the given obstacle field.
+    pub fn new(obstacles: Vec<Obb>) -> Self {
+        NaiveChecker { obstacles, bodies: std::cell::RefCell::new(Vec::new()) }
+    }
+
+    /// The obstacle field being checked against.
+    pub fn obstacles(&self) -> &[Obb] {
+        &self.obstacles
+    }
+}
+
+impl CollisionChecker for NaiveChecker {
+    fn config_free(&self, robot: &Robot, q: &Config, ledger: &mut CollisionLedger) -> bool {
+        let mut bodies = self.bodies.borrow_mut();
+        robot.body_obbs_into(q, &mut bodies);
+        for body in bodies.iter() {
+            for obs in &self.obstacles {
+                ledger.second_stage.mem_words += obs.encoded_words();
+                if sat::obb_obb(obs, body, &mut ledger.second_stage) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-obb"
+    }
+}
+
+/// Baseline all-pairs *AABB-relaxed* checker: every robot body OBB against
+/// every obstacle's AABB relaxation, any hit declared a collision. This is
+/// the "RRT\* ASIC using the same AABB checker" baseline of Fig 18
+/// (right): cheap per query, no hierarchy, false positives included.
+#[derive(Clone, Debug)]
+pub struct NaiveAabbChecker {
+    obstacles: Vec<Obb>,
+    aabbs: Vec<moped_geometry::Aabb>,
+    bodies: std::cell::RefCell<Vec<Obb>>,
+}
+
+impl NaiveAabbChecker {
+    /// Creates a checker over the AABB relaxations of `obstacles`.
+    pub fn new(obstacles: Vec<Obb>) -> Self {
+        let aabbs = obstacles.iter().map(moped_geometry::Aabb::from_obb).collect();
+        NaiveAabbChecker { obstacles, aabbs, bodies: std::cell::RefCell::new(Vec::new()) }
+    }
+
+    /// The original OBB obstacle field.
+    pub fn obstacles(&self) -> &[Obb] {
+        &self.obstacles
+    }
+}
+
+impl CollisionChecker for NaiveAabbChecker {
+    fn config_free(&self, robot: &Robot, q: &Config, ledger: &mut CollisionLedger) -> bool {
+        let mut bodies = self.bodies.borrow_mut();
+        robot.body_obbs_into(q, &mut bodies);
+        for body in bodies.iter() {
+            for aabb in &self.aabbs {
+                ledger.first_stage.mem_words += if body.is_planar() { 4 } else { 6 };
+                if sat::aabb_obb(aabb, body, &mut ledger.first_stage) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-aabb"
+    }
+}
+
+/// Second-stage policy for [`TwoStageChecker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SecondStage {
+    /// Exact OBB–OBB verification of first-stage survivors (MOPED).
+    ObbExact,
+    /// Treat any first-stage survivor as a collision (AABB-only ablation,
+    /// Fig 18): cheap but suffers false positives that inflate path cost.
+    AabbOnly,
+}
+
+/// MOPED's two-stage checker (§III-A): R-tree AABB filter, then exact
+/// OBB–OBB on survivors.
+#[derive(Clone, Debug)]
+pub struct TwoStageChecker {
+    rtree: RTree,
+    obstacles: Vec<Obb>,
+    second: SecondStage,
+    scratch: std::cell::RefCell<TwoStageScratch>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct TwoStageScratch {
+    bodies: Vec<Obb>,
+    stack: Vec<usize>,
+    survivors: Vec<usize>,
+}
+
+impl TwoStageChecker {
+    /// Builds the checker, bulk-loading the obstacle R-tree offline with
+    /// the given fanout (paper-style small node, default choice is 4).
+    pub fn new(obstacles: Vec<Obb>, fanout: usize, second: SecondStage) -> Self {
+        let rtree = RTree::build(&obstacles, fanout);
+        TwoStageChecker {
+            rtree,
+            obstacles,
+            second,
+            scratch: std::cell::RefCell::new(TwoStageScratch::default()),
+        }
+    }
+
+    /// Convenience constructor with the default fanout and exact second
+    /// stage.
+    pub fn moped(obstacles: Vec<Obb>) -> Self {
+        TwoStageChecker::new(obstacles, 4, SecondStage::ObbExact)
+    }
+
+    /// The underlying obstacle R-tree (exposed for the hardware model's
+    /// SRAM sizing).
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+
+    /// The obstacle field.
+    pub fn obstacles(&self) -> &[Obb] {
+        &self.obstacles
+    }
+
+    /// The configured second-stage policy.
+    pub fn second_stage(&self) -> SecondStage {
+        self.second
+    }
+}
+
+impl CollisionChecker for TwoStageChecker {
+    fn config_free(&self, robot: &Robot, q: &Config, ledger: &mut CollisionLedger) -> bool {
+        let scratch = &mut *self.scratch.borrow_mut();
+        robot.body_obbs_into(q, &mut scratch.bodies);
+        for body in &scratch.bodies {
+            // Stage 1: hierarchical AABB filter.
+            self.rtree.filter_into(
+                body,
+                &mut ledger.first_stage,
+                &mut ledger.filter,
+                &mut scratch.stack,
+                &mut scratch.survivors,
+            );
+            if scratch.survivors.is_empty() {
+                continue;
+            }
+            match self.second {
+                SecondStage::AabbOnly => return false,
+                SecondStage::ObbExact => {
+                    // Stage 2: exact check on the few survivors only.
+                    for &oid in &scratch.survivors {
+                        let obs = &self.obstacles[oid];
+                        ledger.second_stage.mem_words += obs.encoded_words();
+                        if sat::obb_obb(obs, body, &mut ledger.second_stage) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        match self.second {
+            SecondStage::ObbExact => "two-stage-obb",
+            SecondStage::AabbOnly => "two-stage-aabb-only",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moped_env::{Scenario, ScenarioParams};
+    use moped_geometry::Vec3;
+
+    fn drone_scene(seed: u64, obstacles: usize) -> Scenario {
+        Scenario::generate(
+            Robot::drone_3d(),
+            &ScenarioParams::with_obstacles(obstacles),
+            seed,
+        )
+    }
+
+    #[test]
+    fn empty_world_is_always_free() {
+        let naive = NaiveChecker::new(Vec::new());
+        let two = TwoStageChecker::moped(Vec::new());
+        let robot = Robot::drone_3d();
+        let q = robot.config_from_unit(&[0.5; 6]);
+        let mut ledger = CollisionLedger::default();
+        assert!(naive.config_free(&robot, &q, &mut ledger));
+        assert!(two.config_free(&robot, &q, &mut ledger));
+    }
+
+    #[test]
+    fn checkers_agree_on_config_queries() {
+        for seed in 0..5 {
+            let s = drone_scene(seed, 24);
+            let naive = NaiveChecker::new(s.obstacles.clone());
+            let two = TwoStageChecker::moped(s.obstacles.clone());
+            let mut ln = CollisionLedger::default();
+            let mut lt = CollisionLedger::default();
+            let mut rng_like = 0u64;
+            for _ in 0..40 {
+                rng_like = rng_like.wrapping_mul(6364136223846793005).wrapping_add(seed + 1);
+                let unit: Vec<f64> = (0..6)
+                    .map(|i| ((rng_like >> (i * 8)) & 0xFF) as f64 / 255.0)
+                    .collect();
+                let q = s.robot.config_from_unit(&unit);
+                assert_eq!(
+                    naive.config_free(&s.robot, &q, &mut ln),
+                    two.config_free(&s.robot, &q, &mut lt),
+                    "disagreement at {q:?} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_stage_is_cheaper_on_realistic_scenes() {
+        let s = drone_scene(11, 48);
+        let naive = NaiveChecker::new(s.obstacles.clone());
+        let two = TwoStageChecker::moped(s.obstacles.clone());
+        let mut ln = CollisionLedger::default();
+        let mut lt = CollisionLedger::default();
+        let steps = InterpolationSteps::default();
+        let mut q = s.start;
+        for t in 1..20 {
+            let next = s.start.lerp(&s.goal, t as f64 / 20.0);
+            let _ = naive.motion_free(&s.robot, &q, &next, &steps, &mut ln);
+            let _ = two.motion_free(&s.robot, &q, &next, &steps, &mut lt);
+            q = next;
+        }
+        let naive_cost = ln.total_ops().mac_equiv();
+        let two_cost = lt.total_ops().mac_equiv();
+        assert!(
+            two_cost * 2 < naive_cost,
+            "two-stage should save well over 2x here: {two_cost} vs {naive_cost}"
+        );
+    }
+
+    #[test]
+    fn aabb_only_is_conservative_wrt_exact() {
+        // If AABB-only says free, exact must also say free.
+        let s = drone_scene(3, 32);
+        let loose = TwoStageChecker::new(s.obstacles.clone(), 4, SecondStage::AabbOnly);
+        let exact = TwoStageChecker::moped(s.obstacles.clone());
+        let mut ll = CollisionLedger::default();
+        let mut le = CollisionLedger::default();
+        let mut state = 7u64;
+        for _ in 0..60 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let unit: Vec<f64> = (0..6)
+                .map(|i| ((state >> (i * 9)) & 0x1FF) as f64 / 511.0)
+                .collect();
+            let q = s.robot.config_from_unit(&unit);
+            if loose.config_free(&s.robot, &q, &mut ll) {
+                assert!(
+                    exact.config_free(&s.robot, &q, &mut le),
+                    "AABB-only freed a config the exact checker rejects"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn motion_through_wall_detected() {
+        let wall = Obb::axis_aligned(Vec3::new(150.0, 150.0, 150.0), Vec3::new(5.0, 120.0, 120.0));
+        let robot = Robot::drone_3d();
+        let from = Config::new(&[50.0, 150.0, 150.0, 0.0, 0.0, 0.0]);
+        let to = Config::new(&[250.0, 150.0, 150.0, 0.0, 0.0, 0.0]);
+        let steps = InterpolationSteps::default();
+        let mut ledger = CollisionLedger::default();
+        for checker in [
+            Box::new(NaiveChecker::new(vec![wall])) as Box<dyn CollisionChecker>,
+            Box::new(TwoStageChecker::moped(vec![wall])),
+        ] {
+            assert!(
+                !checker.motion_free(&robot, &from, &to, &steps, &mut ledger),
+                "{} missed the wall",
+                checker.name()
+            );
+        }
+    }
+
+    #[test]
+    fn short_free_motion_passes() {
+        let s = drone_scene(5, 8);
+        let two = TwoStageChecker::moped(s.obstacles.clone());
+        let steps = InterpolationSteps::default();
+        let mut ledger = CollisionLedger::default();
+        // A tiny motion around the validated-free start pose.
+        let mut to = s.start;
+        to.as_mut_slice()[0] += 0.5;
+        assert!(two.motion_free(&s.robot, &s.start, &to, &steps, &mut ledger));
+        assert_eq!(ledger.motion_queries, 1);
+        assert!(ledger.pose_queries >= 1);
+    }
+
+    #[test]
+    fn ledger_separates_stages() {
+        let s = drone_scene(2, 32);
+        let two = TwoStageChecker::moped(s.obstacles.clone());
+        let mut ledger = CollisionLedger::default();
+        let steps = InterpolationSteps::default();
+        let _ = two.motion_free(&s.robot, &s.start, &s.goal, &steps, &mut ledger);
+        assert!(ledger.first_stage.sat_queries > 0, "first stage must run");
+        // With 32 obstacles along a long motion, at least the filter stats
+        // must register traffic.
+        assert!(ledger.filter.total_checks() > 0);
+    }
+
+    #[test]
+    fn arm_models_work_through_both_checkers() {
+        for robot in [Robot::viperx_300(), Robot::rozum(), Robot::xarm7()] {
+            let s = Scenario::generate(robot, &ScenarioParams::with_obstacles(16), 21);
+            let naive = NaiveChecker::new(s.obstacles.clone());
+            let two = TwoStageChecker::moped(s.obstacles.clone());
+            let mut l1 = CollisionLedger::default();
+            let mut l2 = CollisionLedger::default();
+            let steps = InterpolationSteps::with_resolution(0.2);
+            let a = naive.motion_free(&s.robot, &s.start, &s.goal, &steps, &mut l1);
+            let b = two.motion_free(&s.robot, &s.start, &s.goal, &steps, &mut l2);
+            assert_eq!(a, b, "{} checkers disagree", s.robot.name());
+        }
+    }
+
+    #[test]
+    fn checker_names_are_stable() {
+        assert_eq!(NaiveChecker::new(Vec::new()).name(), "naive-obb");
+        assert_eq!(TwoStageChecker::moped(Vec::new()).name(), "two-stage-obb");
+        assert_eq!(
+            TwoStageChecker::new(Vec::new(), 4, SecondStage::AabbOnly).name(),
+            "two-stage-aabb-only"
+        );
+    }
+}

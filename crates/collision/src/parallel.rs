@@ -1,0 +1,189 @@
+//! Collision-check-level spatial parallelism.
+//!
+//! §VI positions MOPED's *temporal* parallelism (speculate-and-repair) as
+//! complementary to the *spatial* parallelism of prior work (\[4\], \[7\]:
+//! the poses of one motion query can be checked simultaneously). This
+//! module demonstrates that complementarity in software: a wrapper that
+//! fans a motion query's poses across worker threads, each with its own
+//! clone of the underlying checker.
+//!
+//! Two properties the paper calls out are visible here:
+//!
+//! * the *decision* is identical to the serial checker's (an AND
+//!   reduction over poses), and
+//! * parallelism does not reduce the total operation count — workers may
+//!   even do extra work a serial early-exit would skip — which is exactly
+//!   why MOPED pairs parallelism *with* algorithmic cost reduction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use moped_geometry::{Config, InterpolationSteps};
+use moped_robot::Robot;
+
+use crate::{CollisionChecker, CollisionLedger};
+
+/// A motion checker that verifies poses on `threads` workers.
+#[derive(Debug)]
+pub struct ParallelMotionChecker<C> {
+    workers: Vec<C>,
+}
+
+impl<C: CollisionChecker + Clone + Send> ParallelMotionChecker<C> {
+    /// Wraps `checker`, cloning it once per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(checker: C, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        ParallelMotionChecker { workers: vec![checker; threads] }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Checks the motion `from → to`, fanning poses across workers.
+    ///
+    /// Returns the same decision as the serial checker; per-worker
+    /// ledgers are merged into `ledger` (total counted work may exceed
+    /// the serial checker's early-exit count — that is the point the
+    /// paper makes about parallelism not reducing cost).
+    pub fn motion_free(
+        &mut self,
+        robot: &Robot,
+        from: &Config,
+        to: &Config,
+        steps: &InterpolationSteps,
+        ledger: &mut CollisionLedger,
+    ) -> bool {
+        ledger.motion_queries += 1;
+        let n = steps.count(from.distance(to));
+        let poses: Vec<Config> = (1..=n)
+            .map(|i| if i == n { *to } else { from.lerp(to, i as f64 / n as f64) })
+            .collect();
+        let threads = self.workers.len().min(poses.len().max(1));
+        let chunk = poses.len().div_ceil(threads);
+        let collided = AtomicBool::new(false);
+
+        let mut ledgers: Vec<CollisionLedger> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (worker, chunk_poses) in
+                self.workers.iter_mut().zip(poses.chunks(chunk.max(1)))
+            {
+                let collided = &collided;
+                handles.push(scope.spawn(move || {
+                    let mut local = CollisionLedger::default();
+                    for pose in chunk_poses {
+                        // Cooperative early-out: once any worker found a
+                        // collision, the remaining chunks stop issuing
+                        // checks (the hardware analogue: the checker
+                        // array raises its hit line).
+                        if collided.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        local.pose_queries += 1;
+                        if !worker.config_free(robot, pose, &mut local) {
+                            collided.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                ledgers.push(h.join().expect("collision worker panicked"));
+            }
+        });
+        for l in ledgers {
+            ledger.first_stage += l.first_stage;
+            ledger.second_stage += l.second_stage;
+            ledger.pose_queries += l.pose_queries;
+            ledger.filter.node_checks += l.filter.node_checks;
+            ledger.filter.leaf_checks += l.filter.leaf_checks;
+            ledger.filter.pruned_subtrees += l.filter.pruned_subtrees;
+            ledger.filter.survivors += l.filter.survivors;
+        }
+        !collided.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwoStageChecker;
+    use moped_env::{Scenario, ScenarioParams};
+    use moped_geometry::{Obb, Vec3};
+
+    fn scene(seed: u64) -> Scenario {
+        Scenario::generate(
+            moped_robot::Robot::drone_3d(),
+            &ScenarioParams::with_obstacles(24),
+            seed,
+        )
+    }
+
+    #[test]
+    fn parallel_decision_matches_serial() {
+        let s = scene(5);
+        let serial = TwoStageChecker::moped(s.obstacles.clone());
+        let mut par = ParallelMotionChecker::new(TwoStageChecker::moped(s.obstacles.clone()), 4);
+        let steps = InterpolationSteps::with_resolution(1.0);
+        for t in 0..12 {
+            let to = s.start.lerp(&s.goal, (t + 1) as f64 / 12.0);
+            let from = s.start.lerp(&s.goal, t as f64 / 12.0);
+            let mut l1 = CollisionLedger::default();
+            let mut l2 = CollisionLedger::default();
+            let a = serial.motion_free(&s.robot, &from, &to, &steps, &mut l1);
+            let b = par.motion_free(&s.robot, &from, &to, &steps, &mut l2);
+            assert_eq!(a, b, "segment {t} decision must match");
+        }
+    }
+
+    #[test]
+    fn wall_is_detected_in_parallel() {
+        let wall =
+            Obb::axis_aligned(Vec3::new(150.0, 150.0, 150.0), Vec3::new(5.0, 130.0, 130.0));
+        let robot = moped_robot::Robot::drone_3d();
+        let mut par = ParallelMotionChecker::new(TwoStageChecker::moped(vec![wall]), 4);
+        let from = Config::new(&[30.0, 150.0, 150.0, 0.0, 0.0, 0.0]);
+        let to = Config::new(&[270.0, 150.0, 150.0, 0.0, 0.0, 0.0]);
+        let steps = InterpolationSteps::with_resolution(2.0);
+        let mut ledger = CollisionLedger::default();
+        assert!(!par.motion_free(&robot, &from, &to, &steps, &mut ledger));
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_serial_counts() {
+        let s = scene(7);
+        let serial = TwoStageChecker::moped(s.obstacles.clone());
+        let mut par = ParallelMotionChecker::new(TwoStageChecker::moped(s.obstacles.clone()), 1);
+        let steps = InterpolationSteps::with_resolution(1.0);
+        let mut l1 = CollisionLedger::default();
+        let mut l2 = CollisionLedger::default();
+        let a = serial.motion_free(&s.robot, &s.start, &s.goal, &steps, &mut l1);
+        let b = par.motion_free(&s.robot, &s.start, &s.goal, &steps, &mut l2);
+        assert_eq!(a, b);
+        assert_eq!(l1.pose_queries, l2.pose_queries);
+    }
+
+    #[test]
+    fn ledgers_accumulate_across_workers() {
+        let s = scene(9);
+        let mut par = ParallelMotionChecker::new(TwoStageChecker::moped(s.obstacles.clone()), 3);
+        let steps = InterpolationSteps::with_resolution(1.0);
+        let mut ledger = CollisionLedger::default();
+        let _ = par.motion_free(&s.robot, &s.start, &s.goal, &steps, &mut ledger);
+        assert!(ledger.pose_queries > 0);
+        assert!(ledger.first_stage.sat_queries > 0);
+        assert_eq!(par.threads(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = ParallelMotionChecker::new(TwoStageChecker::moped(Vec::new()), 0);
+    }
+}

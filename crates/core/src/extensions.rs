@@ -1,0 +1,492 @@
+//! Planner extensions from the RRT\* family the paper builds on.
+//!
+//! MOPED's techniques are, by design, applicable to the whole RRT\*/RRT
+//! family (§VI "RRT\* and its Variants"). Two widely used members are
+//! implemented here on top of the same neighbor-index and collision-checker
+//! abstractions, so the co-designed kernels transfer unchanged:
+//!
+//! * [`RrtConnect`] — bidirectional single-query planning (Kuffner &
+//!   LaValle 2000): two trees grow toward each other, trading optimality
+//!   for very fast feasibility.
+//! * [`InformedSampler`] — Informed RRT\* sampling (Gammell et al. 2014):
+//!   once a solution of cost `c_best` exists, samples are drawn from the
+//!   prolate hyperspheroid that could still improve it.
+
+use moped_collision::CollisionChecker;
+use moped_env::Scenario;
+use moped_geometry::{Config, InterpolationSteps, OpCount, MAX_DOF};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{NeighborIndex, PlanResult, PlanStats, PlannerParams};
+
+/// One of the two RRT-Connect trees.
+struct HalfTree<N: NeighborIndex> {
+    nodes: Vec<(Config, Option<usize>)>,
+    index: N,
+}
+
+impl<N: NeighborIndex> HalfTree<N> {
+    fn new(root: Config, mut index: N, ops: &mut OpCount) -> Self {
+        index.insert(0, root, None, ops);
+        HalfTree { nodes: vec![(root, None)], index }
+    }
+
+    fn push(&mut self, q: Config, parent: usize, anchor: u64, ops: &mut OpCount) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push((q, Some(parent)));
+        self.index.insert(id as u64, q, Some(anchor), ops);
+        id
+    }
+
+    fn path_to_root(&self, mut i: usize) -> Vec<Config> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.nodes[i].0);
+            match self.nodes[i].1 {
+                Some(p) => i = p,
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of one extend step.
+enum Extend {
+    Trapped,
+    Advanced(usize),
+    Reached(usize),
+}
+
+/// Bidirectional RRT-Connect planner over the MOPED kernels.
+///
+/// # Example
+///
+/// ```
+/// use moped_collision::TwoStageChecker;
+/// use moped_core::{extensions::RrtConnect, PlannerParams, SimbrIndex};
+/// use moped_env::{Scenario, ScenarioParams};
+/// use moped_robot::Robot;
+///
+/// let s = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 1);
+/// let checker = TwoStageChecker::moped(s.obstacles.clone());
+/// let params = PlannerParams { max_samples: 500, ..PlannerParams::default() };
+/// let result = RrtConnect::new(&s, &checker, params, || SimbrIndex::moped(3)).plan();
+/// assert!(result.stats.samples <= 500);
+/// ```
+pub struct RrtConnect<'a, N: NeighborIndex> {
+    scenario: &'a Scenario,
+    checker: &'a dyn CollisionChecker,
+    params: PlannerParams,
+    start_tree: HalfTree<N>,
+    goal_tree: HalfTree<N>,
+    steps: InterpolationSteps,
+    step: f64,
+}
+
+impl<'a, N: NeighborIndex> RrtConnect<'a, N> {
+    /// Creates the planner; `make_index` builds one empty index per tree.
+    pub fn new(
+        scenario: &'a Scenario,
+        checker: &'a dyn CollisionChecker,
+        params: PlannerParams,
+        mut make_index: impl FnMut() -> N,
+    ) -> Self {
+        let step = params
+            .steering_step
+            .unwrap_or_else(|| scenario.robot.steering_step());
+        let steps = params
+            .interpolation
+            .unwrap_or_else(|| InterpolationSteps::with_resolution((step / 4.0).max(1e-3)));
+        let mut scratch = OpCount::default();
+        RrtConnect {
+            start_tree: HalfTree::new(scenario.start, make_index(), &mut scratch),
+            goal_tree: HalfTree::new(scenario.goal, make_index(), &mut scratch),
+            scenario,
+            checker,
+            params,
+            steps,
+            step,
+        }
+    }
+
+    fn extend(
+        tree: &mut HalfTree<N>,
+        target: &Config,
+        step: f64,
+        scenario: &Scenario,
+        checker: &dyn CollisionChecker,
+        steps: &InterpolationSteps,
+        stats: &mut PlanStats,
+    ) -> Extend {
+        let (near_id, _) = tree
+            .index
+            .nearest(target, &mut stats.ns_ops)
+            .expect("trees are never empty");
+        let near_idx = near_id as usize;
+        let x_near = tree.nodes[near_idx].0;
+        let x_new = x_near.steer_toward(target, step);
+        if x_new == x_near {
+            return Extend::Trapped;
+        }
+        if !checker.motion_free(&scenario.robot, &x_near, &x_new, steps, &mut stats.collision) {
+            return Extend::Trapped;
+        }
+        let id = tree.push(x_new, near_idx, near_id, &mut stats.insert_ops);
+        if x_new == *target {
+            Extend::Reached(id)
+        } else {
+            Extend::Advanced(id)
+        }
+    }
+
+    /// Runs the bidirectional search; returns on the first connection or
+    /// at the sampling budget.
+    pub fn plan(&mut self) -> PlanResult {
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut stats = PlanStats::default();
+        let mut from_start = true;
+
+        for _ in 0..self.params.max_samples {
+            stats.samples += 1;
+            let x_rand = self.scenario.sample_any(&mut rng);
+            let (grow, other) = if from_start {
+                (&mut self.start_tree, &mut self.goal_tree)
+            } else {
+                (&mut self.goal_tree, &mut self.start_tree)
+            };
+
+            let step = self.step;
+            let ext = Self::extend(
+                grow,
+                &x_rand,
+                step,
+                self.scenario,
+                self.checker,
+                &self.steps,
+                &mut stats,
+            );
+            if let Extend::Advanced(new_id) | Extend::Reached(new_id) = ext {
+                // CONNECT: greedily extend the other tree toward x_new.
+                let target = grow.nodes[new_id].0;
+                loop {
+                    match Self::extend(
+                        other,
+                        &target,
+                        step,
+                        self.scenario,
+                        self.checker,
+                        &self.steps,
+                        &mut stats,
+                    ) {
+                        Extend::Trapped => break,
+                        Extend::Advanced(_) => continue,
+                        Extend::Reached(other_id) => {
+                            // Bridge found: stitch the two root paths.
+                            let (s_leaf, g_leaf) = if from_start {
+                                (new_id, other_id)
+                            } else {
+                                (other_id, new_id)
+                            };
+                            let mut path = self.start_tree.path_to_root(s_leaf);
+                            path.reverse();
+                            let mut tail = self.goal_tree.path_to_root(g_leaf);
+                            // The meeting configuration appears in both
+                            // halves; drop the duplicate.
+                            if tail.first() == path.last() {
+                                tail.remove(0);
+                            }
+                            path.extend(tail);
+                            let cost =
+                                path.windows(2).map(|w| w[0].distance(&w[1])).sum();
+                            stats.nodes =
+                                self.start_tree.nodes.len() + self.goal_tree.nodes.len();
+                            return PlanResult { path: Some(path), path_cost: cost, stats };
+                        }
+                    }
+                }
+            }
+            from_start = !from_start;
+        }
+        stats.nodes = self.start_tree.nodes.len() + self.goal_tree.nodes.len();
+        PlanResult { path: None, path_cost: f64::INFINITY, stats }
+    }
+}
+
+/// Informed RRT\* sampling: draws configurations from the prolate
+/// hyperspheroid `{x : |x - start| + |x - goal| <= c_best}` — the only
+/// region that can still improve a solution of cost `c_best`.
+#[derive(Clone, Debug)]
+pub struct InformedSampler {
+    start: Config,
+    goal: Config,
+    c_min: f64,
+    /// Rotation-to-world frame: columns are an orthonormal basis whose
+    /// first axis points start→goal.
+    basis: Vec<[f64; MAX_DOF]>,
+}
+
+impl InformedSampler {
+    /// Creates the sampler for a start/goal pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if start and goal coincide or dimensions differ.
+    pub fn new(start: Config, goal: Config) -> Self {
+        assert_eq!(start.dim(), goal.dim(), "dimension mismatch");
+        let c_min = start.distance(&goal);
+        assert!(c_min > 0.0, "start and goal must differ");
+        let d = start.dim();
+        // First basis vector: the start→goal direction; the rest completed
+        // by Gram-Schmidt over the standard basis.
+        let mut basis: Vec<[f64; MAX_DOF]> = Vec::with_capacity(d);
+        let mut a1 = [0.0; MAX_DOF];
+        for i in 0..d {
+            a1[i] = (goal[i] - start[i]) / c_min;
+        }
+        basis.push(a1);
+        for e in 0..d {
+            if basis.len() == d {
+                break;
+            }
+            let mut v = [0.0; MAX_DOF];
+            v[e] = 1.0;
+            for b in &basis {
+                let dot: f64 = (0..d).map(|i| v[i] * b[i]).sum();
+                for i in 0..d {
+                    v[i] -= dot * b[i];
+                }
+            }
+            let norm: f64 = (0..d).map(|i| v[i] * v[i]).sum::<f64>().sqrt();
+            if norm > 1e-9 {
+                for x in v.iter_mut().take(d) {
+                    *x /= norm;
+                }
+                basis.push(v);
+            }
+        }
+        debug_assert_eq!(basis.len(), d, "Gram-Schmidt must complete the basis");
+        InformedSampler { start, goal, c_min, basis }
+    }
+
+    /// Minimum possible path cost (the start–goal distance).
+    pub fn c_min(&self) -> f64 {
+        self.c_min
+    }
+
+    /// Draws a sample from the hyperspheroid for the current best cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_best < c_min` (no solution can be that short).
+    pub fn sample(&self, c_best: f64, rng: &mut StdRng) -> Config {
+        assert!(
+            c_best >= self.c_min,
+            "c_best {c_best} below the theoretical minimum {}",
+            self.c_min
+        );
+        let d = self.start.dim();
+        // Uniform point in the unit d-ball by rejection from the cube
+        // (d <= 8, acceptance is fine for planning workloads).
+        let mut ball = [0.0; MAX_DOF];
+        loop {
+            let mut norm2 = 0.0;
+            for b in ball.iter_mut().take(d) {
+                *b = rng.gen_range(-1.0..1.0);
+                norm2 += *b * *b;
+            }
+            if norm2 <= 1.0 {
+                break;
+            }
+        }
+        // Stretch: r1 along the transverse axis, r2 on the conjugate axes.
+        let r1 = c_best / 2.0;
+        let r2 = ((c_best * c_best - self.c_min * self.c_min).max(0.0)).sqrt() / 2.0;
+        let mut stretched = [0.0; MAX_DOF];
+        stretched[0] = ball[0] * r1;
+        for i in 1..d {
+            stretched[i] = ball[i] * r2;
+        }
+        // Rotate into world frame and translate to the ellipse center.
+        let mut out = [0.0; MAX_DOF];
+        for i in 0..d {
+            let center = (self.start[i] + self.goal[i]) / 2.0;
+            let mut v = center;
+            for (j, b) in self.basis.iter().enumerate().take(d) {
+                v += b[i] * stretched[j];
+            }
+            out[i] = v;
+        }
+        Config::new(&out[..d])
+    }
+
+    /// Returns `true` when `q` lies inside the `c_best` hyperspheroid.
+    pub fn contains(&self, q: &Config, c_best: f64) -> bool {
+        q.distance(&self.start) + q.distance(&self.goal) <= c_best + 1e-9
+    }
+}
+
+/// Plans with RRT\* + informed sampling: identical to
+/// [`crate::RrtStar`] until the first solution, after which samples are
+/// drawn from the shrinking informed set. Returns the standard
+/// [`PlanResult`].
+pub fn plan_informed<N: NeighborIndex>(
+    scenario: &Scenario,
+    checker: &dyn CollisionChecker,
+    index: N,
+    params: PlannerParams,
+) -> PlanResult {
+    // Run the stock planner to get a first solution & statistics, then a
+    // focused refinement pass with the informed sampler.
+    let mut planner = crate::RrtStar::new(scenario, checker, index, params.clone());
+    let first = planner.plan();
+    let Some(_) = &first.path else { return first };
+
+    let sampler = InformedSampler::new(scenario.start, scenario.goal);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x1F0_8ED);
+    // Rejection-refine: resample the informed set and shortcut the found
+    // path where direct motions are free (a lightweight smoother that
+    // realizes the informed bound without a second full tree).
+    let mut path = first.path.clone().expect("checked above");
+    let steps = params
+        .interpolation
+        .unwrap_or_else(|| InterpolationSteps::with_resolution(
+            (scenario.robot.steering_step() / 4.0).max(1e-3),
+        ));
+    let mut stats = first.stats.clone();
+    for _ in 0..params.max_samples / 4 {
+        if path.len() < 3 {
+            break;
+        }
+        let i = rng.gen_range(0..path.len() - 2);
+        let j = rng.gen_range(i + 2..path.len());
+        // Midpoint draw from the informed set biases shortcuts into the
+        // useful region.
+        let c_best: f64 = path.windows(2).map(|w| w[0].distance(&w[1])).sum();
+        let probe = sampler.sample(c_best.max(sampler.c_min() * 1.0001), &mut rng);
+        let via_probe = path[i].distance(&probe) + probe.distance(&path[j]);
+        let current: f64 = path[i..=j].windows(2).map(|w| w[0].distance(&w[1])).sum();
+        if via_probe < current
+            && checker.motion_free(&scenario.robot, &path[i], &probe, &steps, &mut stats.collision)
+            && checker.motion_free(&scenario.robot, &probe, &path[j], &steps, &mut stats.collision)
+        {
+            path.splice(i + 1..j, [probe]);
+        }
+    }
+    let path_cost = path.windows(2).map(|w| w[0].distance(&w[1])).sum();
+    PlanResult { path: Some(path), path_cost, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimbrIndex;
+    use moped_collision::TwoStageChecker;
+    use moped_env::ScenarioParams;
+    use moped_robot::Robot;
+
+    #[test]
+    fn rrt_connect_solves_open_scene_fast() {
+        let s = moped_env::Scenario::generate(
+            Robot::mobile_2d(),
+            &ScenarioParams::with_obstacles(8),
+            31,
+        );
+        let checker = TwoStageChecker::moped(s.obstacles.clone());
+        let params = PlannerParams { max_samples: 800, seed: 2, ..PlannerParams::default() };
+        let r = RrtConnect::new(&s, &checker, params, || SimbrIndex::moped(3)).plan();
+        assert!(r.solved(), "RRT-Connect should solve an open 2D scene");
+        let path = r.path.unwrap();
+        assert_eq!(path[0], s.start);
+        assert_eq!(*path.last().unwrap(), s.goal);
+        // Path must be collision free.
+        let steps = InterpolationSteps::with_resolution(1.0);
+        for w in path.windows(2) {
+            for pose in moped_geometry::interpolate(&w[0], &w[1], &steps) {
+                assert!(!s.config_collides(&pose));
+            }
+        }
+    }
+
+    #[test]
+    fn rrt_connect_is_cheaper_than_rrt_star_for_feasibility() {
+        let s = moped_env::Scenario::generate(
+            Robot::drone_3d(),
+            &ScenarioParams::with_obstacles(16),
+            17,
+        );
+        let checker = TwoStageChecker::moped(s.obstacles.clone());
+        let params = PlannerParams { max_samples: 1500, seed: 6, ..PlannerParams::default() };
+        let rc = RrtConnect::new(&s, &checker, params.clone(), || SimbrIndex::moped(6)).plan();
+        let rs = crate::RrtStar::new(&s, &checker, SimbrIndex::moped(6), params).plan();
+        if rc.solved() && rs.solved() {
+            assert!(
+                rc.stats.samples <= rs.stats.samples,
+                "bidirectional search should terminate earlier"
+            );
+        }
+    }
+
+    #[test]
+    fn informed_samples_stay_in_spheroid() {
+        let start = Config::new(&[0.0, 0.0, 0.0]);
+        let goal = Config::new(&[10.0, 0.0, 0.0]);
+        let sampler = InformedSampler::new(start, goal);
+        let mut rng = StdRng::seed_from_u64(1);
+        for c_best in [10.5, 12.0, 20.0] {
+            for _ in 0..200 {
+                let q = sampler.sample(c_best, &mut rng);
+                assert!(
+                    sampler.contains(&q, c_best),
+                    "sample {q:?} outside the {c_best} spheroid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn informed_spheroid_shrinks_with_c_best() {
+        let start = Config::new(&[0.0, 0.0]);
+        let goal = Config::new(&[10.0, 0.0]);
+        let sampler = InformedSampler::new(start, goal);
+        let mut rng = StdRng::seed_from_u64(3);
+        let spread = |c: f64, rng: &mut StdRng| -> f64 {
+            (0..300)
+                .map(|_| sampler.sample(c, rng))
+                .map(|q| q[1].abs())
+                .fold(0.0, f64::max)
+        };
+        let wide = spread(30.0, &mut rng);
+        let tight = spread(10.5, &mut rng);
+        assert!(tight < wide, "tighter bound must shrink the sample set");
+    }
+
+    #[test]
+    fn informed_refinement_never_worsens_cost() {
+        let s = moped_env::Scenario::generate(
+            Robot::mobile_2d(),
+            &ScenarioParams::with_obstacles(16),
+            9,
+        );
+        let checker = TwoStageChecker::moped(s.obstacles.clone());
+        let params = PlannerParams { max_samples: 1000, seed: 4, ..PlannerParams::default() };
+        let base = crate::RrtStar::new(&s, &checker, SimbrIndex::moped(3), params.clone()).plan();
+        let informed = plan_informed(&s, &checker, SimbrIndex::moped(3), params);
+        if base.solved() && informed.solved() {
+            assert!(
+                informed.path_cost <= base.path_cost + 1e-9,
+                "informed refinement must not worsen: {} vs {}",
+                informed.path_cost,
+                base.path_cost
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn informed_identical_endpoints_rejected() {
+        let q = Config::new(&[1.0, 1.0]);
+        let _ = InformedSampler::new(q, q);
+    }
+}

@@ -1,0 +1,45 @@
+//! The MOPED planning engine: RRT\* with the paper's co-designed kernels.
+//!
+//! This crate is the primary contribution of the reproduction: an RRT\*
+//! planner (Karaman & Frazzoli 2011) that is generic over
+//!
+//! * a **neighbor index** ([`NeighborIndex`]): linear scan (baseline),
+//!   KD-tree (Fig 19 baseline), or the SI-MBR-Tree with optional
+//!   steering-informed approximated search and O(1) insertion, and
+//! * a **collision checker** (`moped_collision::CollisionChecker`): naive
+//!   all-pairs OBB–OBB or the two-stage R-tree scheme.
+//!
+//! The [`Variant`] ladder wires these exactly as the paper's ablation
+//! (Fig 16): V0 baseline → V1 two-stage collision (TSPS) → V2 SI-MBR
+//! neighbor search (STNS) → V3 approximated search (SIAS) → V4 low-cost
+//! insertion (LCI) = full MOPED.
+//!
+//! Every phase of every sampling round is charged to separate ledgers and
+//! optionally traced per round, which is what the hardware model replays
+//! through its speculate-and-repair pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use moped_core::{plan_variant, PlannerParams, Variant};
+//! use moped_env::{Scenario, ScenarioParams};
+//! use moped_robot::Robot;
+//!
+//! let scenario = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 1);
+//! let params = PlannerParams { max_samples: 300, ..PlannerParams::default() };
+//! let result = plan_variant(&scenario, Variant::V4Lci, &params);
+//! assert!(result.stats.samples <= 300);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod extensions;
+mod index;
+mod planner;
+pub mod replan;
+pub mod smooth;
+mod variant;
+
+pub use index::{KdIndex, LinearIndex, NeighborIndex, SimbrIndex};
+pub use planner::{PlanResult, PlanStats, PlannerParams, RoundTrace, RrtStar};
+pub use variant::{plan_variant, variant_components, Variant};

@@ -1,0 +1,141 @@
+//! Path post-processing: shortcut smoothing.
+//!
+//! RRT\*'s rewiring optimizes the tree, but the extracted waypoint path
+//! still zig-zags at the steering-step scale. Shortcut smoothing — try to
+//! connect non-adjacent waypoints directly and splice out the middle when
+//! the motion is free — is the standard cheap post-pass; MOPED's
+//! two-stage checker makes its collision queries cheap too.
+
+use moped_collision::{CollisionChecker, CollisionLedger};
+use moped_geometry::{Config, InterpolationSteps};
+use moped_robot::Robot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a smoothing pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SmoothReport {
+    /// The smoothed path.
+    pub path: Vec<Config>,
+    /// Cost before smoothing.
+    pub cost_before: f64,
+    /// Cost after smoothing.
+    pub cost_after: f64,
+    /// Shortcut attempts that succeeded.
+    pub shortcuts_applied: usize,
+}
+
+fn path_cost(path: &[Config]) -> f64 {
+    path.windows(2).map(|w| w[0].distance(&w[1])).sum()
+}
+
+/// Randomized shortcut smoothing: up to `attempts` random waypoint pairs
+/// are tested for a direct collision-free connection; successful pairs
+/// splice out everything between them. Deterministic in `seed`.
+///
+/// The returned path keeps the original endpoints and never increases
+/// cost.
+///
+/// # Panics
+///
+/// Panics if `path` has fewer than 2 waypoints.
+pub fn shortcut(
+    path: &[Config],
+    robot: &Robot,
+    checker: &dyn CollisionChecker,
+    steps: &InterpolationSteps,
+    attempts: usize,
+    seed: u64,
+    ledger: &mut CollisionLedger,
+) -> SmoothReport {
+    assert!(path.len() >= 2, "path needs at least two waypoints");
+    let cost_before = path_cost(path);
+    let mut out: Vec<Config> = path.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shortcuts_applied = 0;
+    for _ in 0..attempts {
+        if out.len() < 3 {
+            break;
+        }
+        let i = rng.gen_range(0..out.len() - 2);
+        let j = rng.gen_range(i + 2..out.len());
+        let direct = out[i].distance(&out[j]);
+        let current: f64 = out[i..=j].windows(2).map(|w| w[0].distance(&w[1])).sum();
+        if direct + 1e-9 < current
+            && checker.motion_free(robot, &out[i], &out[j], steps, ledger)
+        {
+            out.drain(i + 1..j);
+            shortcuts_applied += 1;
+        }
+    }
+    let cost_after = path_cost(&out);
+    SmoothReport { path: out, cost_before, cost_after, shortcuts_applied }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moped_collision::TwoStageChecker;
+    use moped_env::{Scenario, ScenarioParams};
+
+    fn zigzag() -> Vec<Config> {
+        // A staircase in free space: heavily shortcut-able.
+        (0..10)
+            .map(|i| {
+                Config::new(&[
+                    10.0 + 10.0 * i as f64,
+                    if i % 2 == 0 { 100.0 } else { 115.0 },
+                    0.0,
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shortcut_straightens_free_space_zigzag() {
+        let robot = moped_robot::Robot::mobile_2d();
+        let checker = TwoStageChecker::moped(Vec::new());
+        let steps = InterpolationSteps::with_resolution(2.0);
+        let mut ledger = CollisionLedger::default();
+        let path = zigzag();
+        let rep = shortcut(&path, &robot, &checker, &steps, 200, 1, &mut ledger);
+        assert!(rep.cost_after < rep.cost_before * 0.98);
+        assert!(rep.shortcuts_applied > 0);
+        assert_eq!(rep.path[0], path[0]);
+        assert_eq!(*rep.path.last().unwrap(), *path.last().unwrap());
+    }
+
+    #[test]
+    fn smoothing_never_increases_cost() {
+        let s = Scenario::generate(
+            moped_robot::Robot::mobile_2d(),
+            &ScenarioParams::with_obstacles(16),
+            5,
+        );
+        let checker = TwoStageChecker::moped(s.obstacles.clone());
+        let params = crate::PlannerParams { max_samples: 800, seed: 2, ..Default::default() };
+        let r = crate::RrtStar::new(&s, &checker, crate::SimbrIndex::moped(3), params).plan();
+        if let Some(path) = &r.path {
+            let steps = InterpolationSteps::with_resolution(1.0);
+            let mut ledger = CollisionLedger::default();
+            let rep = shortcut(path, &s.robot, &checker, &steps, 300, 7, &mut ledger);
+            assert!(rep.cost_after <= rep.cost_before + 1e-9);
+            // Smoothed path still collision free.
+            for w in rep.path.windows(2) {
+                for pose in moped_geometry::interpolate(&w[0], &w[1], &steps) {
+                    assert!(!s.config_collides(&pose));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two waypoints")]
+    fn degenerate_path_rejected() {
+        let robot = moped_robot::Robot::mobile_2d();
+        let checker = TwoStageChecker::moped(Vec::new());
+        let steps = InterpolationSteps::default();
+        let mut ledger = CollisionLedger::default();
+        let _ = shortcut(&[Config::zeros(3)], &robot, &checker, &steps, 10, 0, &mut ledger);
+    }
+}

@@ -1,0 +1,219 @@
+//! Axis-aligned bounding boxes in the workspace.
+
+use std::fmt;
+
+use crate::{Obb, Vec3};
+
+/// An axis-aligned bounding box in 3D workspace coordinates.
+///
+/// AABBs are the loose-fitting representation used by MOPED's *first*
+/// collision stage: every R-tree node (both obstacle groups and individual
+/// obstacles) is AABB-bounded, so a first-stage query only pays the cheap
+/// AABB–OBB SAT cost. The paper encodes a 3D AABB as 6 values / 2D as 4
+/// values (center + positive halfwidth extents); this type stores the
+/// equivalent `min`/`max` corner form and exposes the center/halfwidth view.
+///
+/// # Example
+///
+/// ```
+/// use moped_geometry::{Aabb, Vec3};
+/// let a = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+/// assert_eq!(a.center(), Vec3::splat(1.0));
+/// assert!(a.contains_point(Vec3::splat(0.5)));
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct Aabb {
+    min: Vec3,
+    max: Vec3,
+}
+
+impl Aabb {
+    /// Creates an AABB from its minimum and maximum corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `min` component exceeds the corresponding `max`.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "invalid AABB corners: min {min:?} exceeds max {max:?}"
+        );
+        Aabb { min, max }
+    }
+
+    /// Creates an AABB from a center point and positive halfwidth extents
+    /// (the paper's on-chip encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any halfwidth is negative.
+    pub fn from_center_half(center: Vec3, half: Vec3) -> Self {
+        assert!(half.x >= 0.0 && half.y >= 0.0 && half.z >= 0.0, "negative halfwidth");
+        Aabb { min: center - half, max: center + half }
+    }
+
+    /// The tight AABB enclosing an [`Obb`] (how the obstacle AABB SRAM
+    /// contents are derived from the OBB obstacle stream).
+    pub fn from_obb(obb: &Obb) -> Self {
+        // Projection radius of an OBB onto a world axis is the abs-rotation
+        // times the halfwidths (Ericson, Real-Time Collision Detection §4).
+        let r = obb.rotation().abs();
+        let h = obb.half_extents();
+        let half = Vec3::new(
+            r.m[0][0] * h.x + r.m[0][1] * h.y + r.m[0][2] * h.z,
+            r.m[1][0] * h.x + r.m[1][1] * h.y + r.m[1][2] * h.z,
+            r.m[2][0] * h.x + r.m[2][1] * h.y + r.m[2][2] * h.z,
+        );
+        Aabb::from_center_half(obb.center(), half)
+    }
+
+    /// Minimum corner.
+    #[inline]
+    pub fn min(&self) -> Vec3 {
+        self.min
+    }
+
+    /// Maximum corner.
+    #[inline]
+    pub fn max(&self) -> Vec3 {
+        self.max
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Positive halfwidth extents.
+    #[inline]
+    pub fn half_extents(&self) -> Vec3 {
+        (self.max - self.min) * 0.5
+    }
+
+    /// Smallest AABB containing both `self` and `other`.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Volume (area in 2D workloads where z extent is constant).
+    pub fn volume(&self) -> f64 {
+        let d = self.max - self.min;
+        d.x * d.y * d.z
+    }
+
+    /// AABB–AABB overlap test (used by the R-tree build and by the
+    /// occupancy-grid CODAcc baseline model).
+    #[inline]
+    pub fn intersects_aabb(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Point containment (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self`.
+    pub fn contains_aabb(&self, other: &Aabb) -> bool {
+        self.contains_point(other.min) && self.contains_point(other.max)
+    }
+
+    /// Grows the box by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative enough to invert the box.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb::new(self.min - Vec3::splat(margin), self.max + Vec3::splat(margin))
+    }
+}
+
+impl fmt::Debug for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Aabb[{:?}..{:?}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat3;
+
+    #[test]
+    fn center_half_roundtrip() {
+        let a = Aabb::from_center_half(Vec3::new(1.0, 2.0, 3.0), Vec3::splat(0.5));
+        assert_eq!(a.center(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(a.half_extents(), Vec3::splat(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AABB")]
+    fn inverted_corners_rejected() {
+        let _ = Aabb::new(Vec3::splat(1.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains_aabb(&a));
+        assert!(u.contains_aabb(&b));
+        assert_eq!(u.volume(), 27.0);
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_intersect() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::splat(1.5), Vec3::splat(2.0));
+        assert!(!a.intersects_aabb(&b));
+        assert!(!b.intersects_aabb(&a));
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::splat(1.0), Vec3::splat(2.0));
+        assert!(a.intersects_aabb(&b));
+    }
+
+    #[test]
+    fn from_axis_aligned_obb_is_tight() {
+        let obb = Obb::axis_aligned(Vec3::new(5.0, 5.0, 5.0), Vec3::new(1.0, 2.0, 3.0));
+        let a = Aabb::from_obb(&obb);
+        assert_eq!(a.min(), Vec3::new(4.0, 3.0, 2.0));
+        assert_eq!(a.max(), Vec3::new(6.0, 7.0, 8.0));
+    }
+
+    #[test]
+    fn from_rotated_obb_contains_all_corners() {
+        let obb = Obb::new(
+            Vec3::new(1.0, -2.0, 0.5),
+            Vec3::new(2.0, 1.0, 0.5),
+            Mat3::from_euler(0.7, 0.3, -1.2),
+        );
+        let a = Aabb::from_obb(&obb);
+        for corner in obb.corners() {
+            assert!(a.contains_point(corner), "corner {corner:?} outside {a:?}");
+        }
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0)).inflated(0.5);
+        assert_eq!(a.min(), Vec3::splat(-0.5));
+        assert_eq!(a.max(), Vec3::splat(1.5));
+    }
+}

@@ -1,0 +1,255 @@
+//! Flexible-dimension configuration-space points.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::OpCount;
+
+/// Maximum supported degrees of freedom.
+///
+/// MOPED targets planning problems from 2–13 DoF; the paper's evaluation
+/// tops out at the 7-DoF xArm-7. Eight inline slots keep [`Config`] a cheap
+/// `Copy` type while covering every evaluated robot.
+pub const MAX_DOF: usize = 8;
+
+/// A point in configuration space with run-time dimension (2..=[`MAX_DOF`]).
+///
+/// Stored inline so that planner hot loops never allocate. The unused tail
+/// components are always zero, which lets distance computations run over
+/// the full array without branching (the *counted* cost, however, is
+/// charged per the actual dimension, matching the paper's cost model).
+///
+/// # Example
+///
+/// ```
+/// use moped_geometry::Config;
+/// let a = Config::new(&[0.0, 0.0, 0.0]);
+/// let b = Config::new(&[3.0, 4.0, 0.0]);
+/// assert_eq!(a.distance(&b), 5.0);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct Config {
+    coords: [f64; MAX_DOF],
+    dim: u8,
+}
+
+impl Config {
+    /// Creates a configuration from a coordinate slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len()` is 0 or exceeds [`MAX_DOF`].
+    pub fn new(coords: &[f64]) -> Self {
+        assert!(
+            !coords.is_empty() && coords.len() <= MAX_DOF,
+            "configuration dimension {} out of range 1..={MAX_DOF}",
+            coords.len()
+        );
+        let mut c = [0.0; MAX_DOF];
+        c[..coords.len()].copy_from_slice(coords);
+        Config { coords: c, dim: coords.len() as u8 }
+    }
+
+    /// The all-zero configuration of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is 0 or exceeds [`MAX_DOF`].
+    pub fn zeros(dim: usize) -> Self {
+        assert!((1..=MAX_DOF).contains(&dim));
+        Config { coords: [0.0; MAX_DOF], dim: dim as u8 }
+    }
+
+    /// Number of degrees of freedom.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// Coordinates as a slice of length [`Config::dim`].
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.coords[..self.dim as usize]
+    }
+
+    /// Mutable coordinate access.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.coords[..self.dim as usize]
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if dimensions differ.
+    #[inline]
+    pub fn distance_sq(&self, other: &Config) -> f64 {
+        debug_assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.dim as usize {
+            let d = self.coords[i] - other.coords[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance with operation accounting: `d` subs, `d` muls,
+    /// `d-1` adds — the distance-calculator cost in the paper's neighbor
+    /// search analysis scales linearly with DoF exactly like this.
+    #[inline]
+    pub fn distance_sq_counted(&self, other: &Config, ops: &mut OpCount) -> f64 {
+        let d = self.dim as u64;
+        ops.mul += d;
+        ops.add += 2 * d - 1;
+        ops.dist_calcs += 1;
+        self.distance_sq(other)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Config) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Counted Euclidean distance (adds one `sqrt` to the squared cost).
+    #[inline]
+    pub fn distance_counted(&self, other: &Config, ops: &mut OpCount) -> f64 {
+        ops.sqrt += 1;
+        self.distance_sq_counted(other, ops).sqrt()
+    }
+
+    /// Linear interpolation `self + t * (other - self)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if dimensions differ.
+    pub fn lerp(&self, other: &Config, t: f64) -> Config {
+        debug_assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut out = *self;
+        for i in 0..self.dim as usize {
+            out.coords[i] += t * (other.coords[i] - self.coords[i]);
+        }
+        out
+    }
+
+    /// Steers from `self` toward `target`: returns the point at most
+    /// `step` away from `self` along the straight segment (RRT\*'s
+    /// steering operation, modelling per-move kinematic limits).
+    ///
+    /// Returns `target` itself when it is within `step`.
+    pub fn steer_toward(&self, target: &Config, step: f64) -> Config {
+        let d = self.distance(target);
+        if d <= step || d <= f64::EPSILON {
+            *target
+        } else {
+            self.lerp(target, step / d)
+        }
+    }
+
+    /// Returns `true` if every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.as_slice().iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<usize> for Config {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.as_slice()[i]
+    }
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Config{:?}", self.as_slice())
+    }
+}
+
+impl From<&[f64]> for Config {
+    fn from(s: &[f64]) -> Self {
+        Config::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_manual() {
+        let a = Config::new(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = Config::new(&[0.0, 0.0, 0.0, 0.0, 0.0]);
+        let expect = (1.0 + 4.0 + 9.0 + 16.0 + 25.0f64).sqrt();
+        assert!((a.distance(&b) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unused_tail_does_not_affect_distance() {
+        let a = Config::new(&[1.0, 1.0]);
+        let b = Config::new(&[2.0, 2.0]);
+        assert!((a.distance(&b) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steer_within_step_returns_target() {
+        let a = Config::new(&[0.0, 0.0]);
+        let b = Config::new(&[1.0, 0.0]);
+        assert_eq!(a.steer_toward(&b, 2.0), b);
+    }
+
+    #[test]
+    fn steer_beyond_step_is_clamped() {
+        let a = Config::new(&[0.0, 0.0]);
+        let b = Config::new(&[10.0, 0.0]);
+        let s = a.steer_toward(&b, 1.0);
+        assert!((s.distance(&a) - 1.0).abs() < 1e-12);
+        assert_eq!(s[1], 0.0);
+    }
+
+    #[test]
+    fn steer_to_self_is_identity() {
+        let a = Config::new(&[3.0, -1.0, 0.5]);
+        assert_eq!(a.steer_toward(&a, 1.0), a);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Config::new(&[0.0, 0.0, 0.0]);
+        let b = Config::new(&[2.0, -4.0, 8.0]);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn counted_distance_scales_with_dim() {
+        let mut ops = OpCount::default();
+        let a = Config::zeros(7);
+        let b = Config::new(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let _ = a.distance_counted(&b, &mut ops);
+        assert_eq!(ops.mul, 7);
+        assert_eq!(ops.add, 13);
+        assert_eq!(ops.sqrt, 1);
+        assert_eq!(ops.dist_calcs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_dim_rejected() {
+        let _ = Config::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlong_rejected() {
+        let _ = Config::new(&[0.0; MAX_DOF + 1]);
+    }
+
+    #[test]
+    fn index_reads_coordinates() {
+        let a = Config::new(&[5.0, 6.0]);
+        assert_eq!(a[0], 5.0);
+        assert_eq!(a[1], 6.0);
+    }
+}

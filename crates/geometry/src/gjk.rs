@@ -1,0 +1,315 @@
+//! GJK distance computation between convex bodies.
+//!
+//! The paper's unit-cost analysis builds on the separating-axis theorem,
+//! whose foundational citation is Gilbert–Johnson–Keerthi's convex
+//! distance algorithm. This module implements GJK for OBB pairs as an
+//! *independent exact oracle*: `distance > 0` iff the boxes are disjoint,
+//! which cross-validates every SAT kernel (float and fixed-point) in the
+//! test suites, and provides the clearance values motion-planning
+//! heuristics often want.
+//!
+//! The implementation is the standard subdistance form: iterate support
+//! points of the Minkowski difference, maintain a simplex of at most four
+//! vertices, and project the origin onto it until the support direction
+//! stops improving.
+
+use crate::{Obb, OpCount, Vec3};
+
+/// Result of a GJK distance query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GjkResult {
+    /// Euclidean distance between the bodies (0 when intersecting).
+    pub distance: f64,
+    /// Whether the bodies intersect (distance == 0 within tolerance).
+    pub intersecting: bool,
+    /// Iterations the solver used.
+    pub iterations: u32,
+}
+
+/// Support point of an OBB in world direction `d`: the vertex maximizing
+/// `v · d`.
+fn support_obb(o: &Obb, d: Vec3) -> Vec3 {
+    let h = o.half_extents();
+    let local = Vec3::new(
+        if o.axis(0).dot(d) >= 0.0 { h.x } else { -h.x },
+        if o.axis(1).dot(d) >= 0.0 { h.y } else { -h.y },
+        if o.axis(2).dot(d) >= 0.0 { h.z } else { -h.z },
+    );
+    o.center() + o.rotation() * local
+}
+
+/// Support of the Minkowski difference `A ⊖ B` in direction `d`.
+fn support(a: &Obb, b: &Obb, d: Vec3, ops: &mut OpCount) -> Vec3 {
+    ops.mul += 2 * 9 + 2 * 9; // two axis-projection triples + two rotations
+    ops.add += 24;
+    support_obb(a, d) - support_obb(b, -d)
+}
+
+/// Projects the origin onto the simplex, returning the closest point and
+/// retaining only the supporting vertices.
+fn closest_on_simplex(simplex: &mut Vec<Vec3>, ops: &mut OpCount) -> Vec3 {
+    ops.cmp += simplex.len() as u64;
+    match simplex.len() {
+        1 => simplex[0],
+        2 => {
+            let (a, b) = (simplex[0], simplex[1]);
+            let ab = b - a;
+            let t = (-a).dot(ab) / ab.dot(ab).max(f64::MIN_POSITIVE);
+            ops.mul += 6;
+            ops.add += 5;
+            if t <= 0.0 {
+                simplex.truncate(1);
+                a
+            } else if t >= 1.0 {
+                simplex.swap(0, 1);
+                simplex.truncate(1);
+                b
+            } else {
+                a + ab * t
+            }
+        }
+        3 => closest_on_triangle(simplex, ops),
+        _ => closest_on_tetrahedron(simplex, ops),
+    }
+}
+
+fn closest_on_triangle(simplex: &mut Vec<Vec3>, ops: &mut OpCount) -> Vec3 {
+    ops.mul += 30;
+    ops.add += 24;
+    let (a, b, c) = (simplex[0], simplex[1], simplex[2]);
+    // Voronoi-region walk (Ericson §5.1.5), querying the origin.
+    let ab = b - a;
+    let ac = c - a;
+    let ap = -a;
+    let d1 = ab.dot(ap);
+    let d2 = ac.dot(ap);
+    if d1 <= 0.0 && d2 <= 0.0 {
+        simplex.truncate(1);
+        return a;
+    }
+    let bp = -b;
+    let d3 = ab.dot(bp);
+    let d4 = ac.dot(bp);
+    if d3 >= 0.0 && d4 <= d3 {
+        simplex.swap(0, 1);
+        simplex.truncate(1);
+        return b;
+    }
+    let vc = d1 * d4 - d3 * d2;
+    if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+        let t = d1 / (d1 - d3);
+        simplex.truncate(2);
+        return a + ab * t;
+    }
+    let cp = -c;
+    let d5 = ab.dot(cp);
+    let d6 = ac.dot(cp);
+    if d6 >= 0.0 && d5 <= d6 {
+        simplex.swap(0, 2);
+        simplex.truncate(1);
+        return c;
+    }
+    let vb = d5 * d2 - d1 * d6;
+    if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+        let t = d2 / (d2 - d6);
+        simplex.remove(1);
+        return a + ac * t;
+    }
+    let va = d3 * d6 - d5 * d4;
+    if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+        let t = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+        simplex.remove(0);
+        return b + (c - b) * t;
+    }
+    // Interior: origin projects inside the face.
+    let denom = 1.0 / (va + vb + vc);
+    let v = vb * denom;
+    let w = vc * denom;
+    a + ab * v + ac * w
+}
+
+fn closest_on_tetrahedron(simplex: &mut Vec<Vec3>, ops: &mut OpCount) -> Vec3 {
+    // Test the origin against each face; keep the closest feature. If the
+    // origin is inside all faces, the bodies intersect (distance 0).
+    let (a, b, c, d) = (simplex[0], simplex[1], simplex[2], simplex[3]);
+    let faces: [[Vec3; 3]; 4] = [[a, b, c], [a, b, d], [a, c, d], [b, c, d]];
+    let mut best: Option<(f64, Vec<Vec3>, Vec3)> = None;
+    let mut inside = true;
+    for f in faces {
+        // Outward test: does the origin lie on the far side of this face
+        // from the remaining vertex?
+        let rest = if f.contains(&d) {
+            if f.contains(&c) && f.contains(&b) { a } else if f.contains(&c) { b } else { c }
+        } else {
+            d
+        };
+        let n = (f[1] - f[0]).cross_counted(f[2] - f[0], ops);
+        let toward_origin = n.dot(-f[0]);
+        let toward_rest = n.dot(rest - f[0]);
+        ops.mul += 6;
+        ops.add += 6;
+        if toward_origin * toward_rest >= 0.0 {
+            continue; // origin on the inner side of this face
+        }
+        inside = false;
+        let mut tri = vec![f[0], f[1], f[2]];
+        let p = closest_on_triangle(&mut tri, ops);
+        let d2 = p.norm_sq();
+        if best.as_ref().is_none_or(|(bd, _, _)| d2 < *bd) {
+            best = Some((d2, tri, p));
+        }
+    }
+    if inside {
+        simplex.truncate(4);
+        return Vec3::ZERO;
+    }
+    let (_, tri, p) = best.expect("origin outside at least one face");
+    *simplex = tri;
+    p
+}
+
+/// Computes the distance between two OBBs with GJK.
+///
+/// Terminates when the support point stops improving by more than `eps`
+/// or after 64 iterations (returns the best bound found).
+///
+/// # Example
+///
+/// ```
+/// use moped_geometry::{gjk, Obb, OpCount, Vec3};
+/// let a = Obb::axis_aligned(Vec3::ZERO, Vec3::splat(1.0));
+/// let b = Obb::axis_aligned(Vec3::new(4.0, 0.0, 0.0), Vec3::splat(1.0));
+/// let r = gjk::distance(&a, &b, &mut OpCount::default());
+/// assert!((r.distance - 2.0).abs() < 1e-6);
+/// assert!(!r.intersecting);
+/// ```
+pub fn distance(a: &Obb, b: &Obb, ops: &mut OpCount) -> GjkResult {
+    let eps = 1e-10;
+    let mut dir = b.center() - a.center();
+    if dir.norm_sq() < eps {
+        dir = Vec3::X;
+    }
+    let mut simplex = vec![support(a, b, dir, ops)];
+    let mut closest = simplex[0];
+    for it in 1..=64u32 {
+        let d2 = closest.norm_sq();
+        if d2 < eps {
+            return GjkResult { distance: 0.0, intersecting: true, iterations: it };
+        }
+        let new_dir = -closest;
+        let s = support(a, b, new_dir, ops);
+        // No progress toward the origin ⇒ `closest` is the true minimum.
+        ops.cmp += 1;
+        if new_dir.dot(s) - new_dir.dot(closest) <= eps * (1.0 + d2) {
+            return GjkResult {
+                distance: d2.sqrt(),
+                intersecting: false,
+                iterations: it,
+            };
+        }
+        simplex.push(s);
+        closest = closest_on_simplex(&mut simplex, ops);
+        if simplex.len() == 4 && closest == Vec3::ZERO {
+            return GjkResult { distance: 0.0, intersecting: true, iterations: it };
+        }
+    }
+    let d = closest.norm();
+    GjkResult { distance: d, intersecting: d < 1e-7, iterations: 64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat3;
+
+    #[test]
+    fn axis_aligned_gap_distance() {
+        let a = Obb::axis_aligned(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Obb::axis_aligned(Vec3::new(5.0, 0.0, 0.0), Vec3::splat(1.0));
+        let r = distance(&a, &b, &mut OpCount::default());
+        assert!((r.distance - 3.0).abs() < 1e-6, "got {}", r.distance);
+        assert!(!r.intersecting);
+    }
+
+    #[test]
+    fn overlapping_boxes_report_zero() {
+        let a = Obb::axis_aligned(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Obb::axis_aligned(Vec3::new(1.0, 0.5, 0.0), Vec3::splat(1.0));
+        let r = distance(&a, &b, &mut OpCount::default());
+        assert!(r.intersecting);
+        assert_eq!(r.distance, 0.0);
+    }
+
+    #[test]
+    fn corner_to_corner_diagonal_distance() {
+        let a = Obb::axis_aligned(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Obb::axis_aligned(Vec3::splat(3.0), Vec3::splat(1.0));
+        let r = distance(&a, &b, &mut OpCount::default());
+        let expect = (Vec3::splat(1.0) - Vec3::splat(2.0)).norm();
+        assert!((r.distance - expect).abs() < 1e-6, "got {}", r.distance);
+    }
+
+    #[test]
+    fn rotated_diamond_gap() {
+        // A 45°-rotated square's corner reaches sqrt(2); gap = separation
+        // - 1 - sqrt(2).
+        let a = Obb::axis_aligned(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+        let b = Obb::new(
+            Vec3::new(5.0, 0.0, 0.0),
+            Vec3::new(1.0, 1.0, 1.0),
+            Mat3::rotation_z(std::f64::consts::FRAC_PI_4),
+        );
+        let r = distance(&a, &b, &mut OpCount::default());
+        let expect = 5.0 - 1.0 - 2f64.sqrt();
+        assert!((r.distance - expect).abs() < 1e-6, "got {}, want {expect}", r.distance);
+    }
+
+    #[test]
+    fn agrees_with_sat_on_random_pairs() {
+        let mut state = 0xDEADBEEFu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64 / 10_000.0
+        };
+        let mut ops = OpCount::default();
+        let mut disagreements = 0;
+        for _ in 0..500 {
+            let a = Obb::new(
+                Vec3::new(rnd() * 20.0, rnd() * 20.0, rnd() * 20.0),
+                Vec3::new(0.5 + rnd() * 3.0, 0.5 + rnd() * 3.0, 0.5 + rnd() * 3.0),
+                Mat3::from_euler(rnd() * 6.0 - 3.0, rnd() * 3.0 - 1.5, rnd() * 6.0 - 3.0),
+            );
+            let b = Obb::new(
+                Vec3::new(rnd() * 20.0, rnd() * 20.0, rnd() * 20.0),
+                Vec3::new(0.5 + rnd() * 3.0, 0.5 + rnd() * 3.0, 0.5 + rnd() * 3.0),
+                Mat3::from_euler(rnd() * 6.0 - 3.0, rnd() * 3.0 - 1.5, rnd() * 6.0 - 3.0),
+            );
+            let sat_hit = crate::sat::obb_obb(&a, &b, &mut ops);
+            let gjk = distance(&a, &b, &mut ops);
+            // Tolerate disagreement only in a thin shell around contact.
+            if sat_hit != gjk.intersecting && gjk.distance > 1e-6 {
+                disagreements += 1;
+            }
+        }
+        assert_eq!(disagreements, 0, "SAT and GJK must agree away from grazing contact");
+    }
+
+    #[test]
+    fn identical_boxes_intersect() {
+        let a = Obb::from_euler(Vec3::splat(3.0), Vec3::new(2.0, 1.0, 0.5), 0.4, 0.2, 0.7);
+        let r = distance(&a, &a, &mut OpCount::default());
+        assert!(r.intersecting);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Obb::from_euler(Vec3::ZERO, Vec3::splat(1.0), 0.1, 0.2, 0.3);
+        let b = Obb::from_euler(Vec3::new(6.0, 2.0, -1.0), Vec3::splat(1.5), -0.5, 0.4, 0.0);
+        let mut ops = OpCount::default();
+        let ab = distance(&a, &b, &mut ops).distance;
+        let ba = distance(&b, &a, &mut ops).distance;
+        assert!((ab - ba).abs() < 1e-6);
+    }
+}

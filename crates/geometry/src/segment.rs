@@ -1,0 +1,131 @@
+//! Configuration-space segment interpolation.
+//!
+//! RRT\* must verify that the *entire movement course* between two
+//! configurations is collision free (§II-C), so motions are discretized
+//! into intermediate configurations at a fixed resolution and each pose is
+//! collision checked.
+
+use crate::Config;
+
+/// Resolution policy for discretizing a straight configuration-space
+/// motion into collision-check poses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterpolationSteps {
+    /// Maximum configuration-space distance between consecutive checked
+    /// poses.
+    pub resolution: f64,
+    /// Hard cap on the number of intermediate poses (guards against
+    /// degenerate long motions).
+    pub max_steps: usize,
+}
+
+impl InterpolationSteps {
+    /// Creates a policy with the given resolution and a 64-pose cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not strictly positive.
+    pub fn with_resolution(resolution: f64) -> Self {
+        assert!(resolution > 0.0, "resolution must be positive");
+        InterpolationSteps { resolution, max_steps: 64 }
+    }
+
+    /// Number of poses (including the endpoint, excluding the start) that
+    /// a motion of length `dist` is split into.
+    pub fn count(&self, dist: f64) -> usize {
+        if dist <= f64::EPSILON {
+            return 1;
+        }
+        ((dist / self.resolution).ceil() as usize).clamp(1, self.max_steps)
+    }
+}
+
+impl Default for InterpolationSteps {
+    /// One pose per 2.0 configuration-space units, matching the evaluation
+    /// workspace scale (300-unit extents, ~5-unit steering steps).
+    fn default() -> Self {
+        InterpolationSteps::with_resolution(2.0)
+    }
+}
+
+/// Returns the checked poses of the straight motion `from -> to` under the
+/// given policy: evenly spaced poses ending exactly at `to` (the start pose
+/// is assumed already validated when its node entered the tree).
+///
+/// # Example
+///
+/// ```
+/// use moped_geometry::{interpolate, Config, InterpolationSteps};
+/// let from = Config::new(&[0.0, 0.0]);
+/// let to = Config::new(&[4.0, 0.0]);
+/// let poses = interpolate(&from, &to, &InterpolationSteps::with_resolution(2.0));
+/// assert_eq!(poses.len(), 2);
+/// assert_eq!(poses[1], to);
+/// ```
+pub fn interpolate(from: &Config, to: &Config, steps: &InterpolationSteps) -> Vec<Config> {
+    let dist = from.distance(to);
+    let n = steps.count(dist);
+    let mut poses: Vec<Config> = (1..n)
+        .map(|i| from.lerp(to, i as f64 / n as f64))
+        .collect();
+    // Emit the endpoint exactly rather than via lerp(.., 1.0), which can
+    // differ by an ULP and would make the planner store a drifted node.
+    poses.push(*to);
+    poses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_motion_has_single_pose() {
+        let a = Config::new(&[1.0, 1.0]);
+        let poses = interpolate(&a, &a, &InterpolationSteps::default());
+        assert_eq!(poses, vec![a]);
+    }
+
+    #[test]
+    fn last_pose_is_exact_target() {
+        let a = Config::new(&[0.0, 0.0, 0.0]);
+        let b = Config::new(&[3.7, -1.2, 0.4]);
+        let poses = interpolate(&a, &b, &InterpolationSteps::with_resolution(0.5));
+        assert_eq!(*poses.last().unwrap(), b);
+    }
+
+    #[test]
+    fn spacing_respects_resolution() {
+        let a = Config::new(&[0.0, 0.0]);
+        let b = Config::new(&[10.0, 0.0]);
+        let policy = InterpolationSteps::with_resolution(1.0);
+        let poses = interpolate(&a, &b, &policy);
+        assert_eq!(poses.len(), 10);
+        let mut prev = a;
+        for p in &poses {
+            assert!(prev.distance(p) <= 1.0 + 1e-9);
+            prev = *p;
+        }
+    }
+
+    #[test]
+    fn max_steps_caps_pose_count() {
+        let a = Config::new(&[0.0]);
+        let b = Config::new(&[1e9]);
+        let policy = InterpolationSteps { resolution: 1.0, max_steps: 16 };
+        assert_eq!(interpolate(&a, &b, &policy).len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resolution_rejected() {
+        let _ = InterpolationSteps::with_resolution(0.0);
+    }
+
+    #[test]
+    fn count_of_short_motion_is_one() {
+        let policy = InterpolationSteps::with_resolution(2.0);
+        assert_eq!(policy.count(0.5), 1);
+        assert_eq!(policy.count(2.0), 1);
+        assert_eq!(policy.count(2.1), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! SRAM bank-contention simulation (§IV-C module/engine-level caching).
+//!
+//! The paper motivates the search-trace cache and the neighborhood cache
+//! not by energy but by **port conflicts**: the SI-MBR operator's
+//! insertion updates, the speculative search's reads, and the refinement
+//! module's neighborhood reads all target the same NS memories at the
+//! same time. This module simulates single-ported banks under round-robin
+//! arbitration so those conflicts (and the caches' effect on them) are
+//! measured rather than asserted.
+
+use std::collections::VecDeque;
+
+/// One memory request: `words` sequential words from `bank`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Target bank index.
+    pub bank: usize,
+    /// Number of 16-bit words (one word per cycle on a hit-free port).
+    pub words: u64,
+}
+
+/// A requestor's ordered access stream.
+#[derive(Clone, Debug)]
+pub struct Stream {
+    /// Requestor name (for the report).
+    pub name: &'static str,
+    /// Requests issued back-to-back.
+    pub requests: Vec<Request>,
+}
+
+/// Result of a contention simulation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ContentionReport {
+    /// Total cycles until every stream drained.
+    pub cycles: u64,
+    /// Lower bound: the busiest single stream's demand.
+    pub critical_stream_cycles: u64,
+    /// Cycles each stream spent stalled on an occupied port, in stream
+    /// order.
+    pub stalls: Vec<(String, u64)>,
+}
+
+impl ContentionReport {
+    /// Total stall cycles across all streams.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Simulates `streams` against `banks` single-ported banks with
+/// round-robin arbitration (fair, age-independent).
+///
+/// Each stream issues its word accesses in order; in any cycle a bank
+/// serves exactly one requestor, and losing requestors stall. Word
+/// accesses within one request target the same bank consecutively.
+///
+/// # Panics
+///
+/// Panics if `banks == 0` or any request names a bank out of range.
+pub fn simulate(streams: &[Stream], banks: usize) -> ContentionReport {
+    assert!(banks > 0, "need at least one bank");
+    // Flatten each stream into a word-level queue of bank targets.
+    let mut queues: Vec<VecDeque<usize>> = streams
+        .iter()
+        .map(|s| {
+            let mut q = VecDeque::new();
+            for r in &s.requests {
+                assert!(r.bank < banks, "bank {} out of range {banks}", r.bank);
+                for _ in 0..r.words {
+                    q.push_back(r.bank);
+                }
+            }
+            q
+        })
+        .collect();
+    let mut stalls = vec![0u64; streams.len()];
+    let critical = queues.iter().map(|q| q.len() as u64).max().unwrap_or(0);
+
+    let mut cycles = 0u64;
+    let mut rr = 0usize; // rotating priority
+    while queues.iter().any(|q| !q.is_empty()) {
+        let mut bank_taken = vec![false; banks];
+        // Grant in rotating order.
+        let n = queues.len();
+        for k in 0..n {
+            let i = (rr + k) % n;
+            if let Some(&bank) = queues[i].front() {
+                if !bank_taken[bank] {
+                    bank_taken[bank] = true;
+                    queues[i].pop_front();
+                } else {
+                    stalls[i] += 1;
+                }
+            }
+        }
+        rr = (rr + 1) % n.max(1);
+        cycles += 1;
+    }
+
+    ContentionReport {
+        cycles,
+        critical_stream_cycles: critical,
+        stalls: streams
+            .iter()
+            .zip(stalls)
+            .map(|(s, st)| (s.name.to_string(), st))
+            .collect(),
+    }
+}
+
+/// Bank ids of the Fig 11 floorplan used by the NS-side streams.
+pub mod bank_ids {
+    /// Bottom NS SRAM (SI-MBR nodes below the cached top).
+    pub const BOTTOM_NS: usize = 0;
+    /// Top NS Cache (its port is separate from the SRAM's).
+    pub const TOP_NS_CACHE: usize = 1;
+    /// Neighborhood cache shared with the refinement module.
+    pub const NEIGHBORHOOD: usize = 2;
+    /// EXP node SRAM (configurations).
+    pub const EXP_NODE: usize = 3;
+    /// Number of banks in this slice of the floorplan.
+    pub const COUNT: usize = 4;
+}
+
+/// Builds the three §IV-C contention streams for one planning round.
+///
+/// * `search_words` — the speculative search's node reads,
+/// * `insert_words` — the SI-MBR operator's path update,
+/// * `refine_words` — the refinement module's neighborhood reads.
+///
+/// With `caches_enabled`, the insertion path is served by the trace cache
+/// and the refinement reads by the neighborhood cache, so only the search
+/// stream touches the Bottom NS SRAM — the conflict disappears by
+/// construction, matching the paper's design intent.
+pub fn round_streams(
+    search_words: u64,
+    insert_words: u64,
+    refine_words: u64,
+    caches_enabled: bool,
+) -> Vec<Stream> {
+    let (insert_bank, refine_bank) = if caches_enabled {
+        (bank_ids::TOP_NS_CACHE, bank_ids::NEIGHBORHOOD)
+    } else {
+        (bank_ids::BOTTOM_NS, bank_ids::BOTTOM_NS)
+    };
+    vec![
+        Stream {
+            name: "speculative-search",
+            requests: vec![Request { bank: bank_ids::BOTTOM_NS, words: search_words }],
+        },
+        Stream {
+            name: "si-mbr-insert",
+            requests: vec![Request { bank: insert_bank, words: insert_words }],
+        },
+        Stream {
+            name: "refinement-reads",
+            requests: vec![Request { bank: refine_bank, words: refine_words }],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_banks_run_fully_parallel() {
+        let streams = vec![
+            Stream { name: "a", requests: vec![Request { bank: 0, words: 100 }] },
+            Stream { name: "b", requests: vec![Request { bank: 1, words: 100 }] },
+        ];
+        let rep = simulate(&streams, 2);
+        assert_eq!(rep.cycles, 100);
+        assert_eq!(rep.total_stalls(), 0);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let streams = vec![
+            Stream { name: "a", requests: vec![Request { bank: 0, words: 100 }] },
+            Stream { name: "b", requests: vec![Request { bank: 0, words: 100 }] },
+        ];
+        let rep = simulate(&streams, 1);
+        assert_eq!(rep.cycles, 200, "single port must serialize");
+        assert!(rep.total_stalls() > 0);
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        let streams = vec![
+            Stream { name: "a", requests: vec![Request { bank: 0, words: 300 }] },
+            Stream { name: "b", requests: vec![Request { bank: 0, words: 300 }] },
+        ];
+        let rep = simulate(&streams, 1);
+        let a = rep.stalls[0].1 as f64;
+        let b = rep.stalls[1].1 as f64;
+        assert!((a - b).abs() / a.max(b) < 0.05, "stalls should split evenly: {a} vs {b}");
+    }
+
+    #[test]
+    fn caches_eliminate_ns_bank_conflicts() {
+        let uncached = simulate(&round_streams(400, 120, 90, false), bank_ids::COUNT);
+        let cached = simulate(&round_streams(400, 120, 90, true), bank_ids::COUNT);
+        assert!(uncached.total_stalls() > 0, "shared bank must conflict");
+        assert_eq!(cached.total_stalls(), 0, "caches route around the shared bank");
+        assert!(cached.cycles < uncached.cycles);
+        // With caches, latency collapses to the critical stream.
+        assert_eq!(cached.cycles, cached.critical_stream_cycles);
+    }
+
+    #[test]
+    fn empty_streams_cost_nothing() {
+        let rep = simulate(&[], 2);
+        assert_eq!(rep.cycles, 0);
+        let rep = simulate(&round_streams(0, 0, 0, false), bank_ids::COUNT);
+        assert_eq!(rep.cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_bank_rejected() {
+        let streams = vec![Stream { name: "x", requests: vec![Request { bank: 5, words: 1 }] }];
+        let _ = simulate(&streams, 2);
+    }
+}

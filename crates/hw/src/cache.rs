@@ -1,0 +1,175 @@
+//! Hierarchical multi-level caching model (§IV-C).
+//!
+//! Three caching opportunities are modelled, each converting SRAM word
+//! accesses into cheaper cache-structure accesses:
+//!
+//! * **Unit level** — the Top NS Cache holds the top levels of the
+//!   SI-MBR-Tree; every search starts at the root, so visits at shallow
+//!   depths are near-guaranteed hits (temporal locality).
+//! * **Module level** — the search-trace cache retains the MBRs visited
+//!   on the way to the chosen leaf; the immediately following insertion
+//!   updates exactly those nodes, and the concurrent speculative search
+//!   re-reads them, so serving them from the trace avoids a bank conflict
+//!   on the Bottom NS SRAM.
+//! * **Engine level** — the neighborhood cache hands the Tree Extension
+//!   Module's identified neighbor set to the Tree Refinement Module
+//!   without re-querying the NS memories.
+
+use moped_simbr::SearchStats;
+
+use crate::params;
+
+/// Outcome of applying the cache model to a planning run's traversal
+/// statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CacheReport {
+    /// Node visits served by the Top NS Cache.
+    pub unit_hits: u64,
+    /// Node visits that had to touch the Bottom NS SRAM.
+    pub unit_misses: u64,
+    /// Word accesses avoided by the trace cache (module level).
+    pub trace_words_saved: u64,
+    /// Word accesses avoided by the neighborhood cache (engine level).
+    pub neighborhood_words_saved: u64,
+    /// Total SRAM word-energy (joules) without any caching.
+    pub energy_uncached_j: f64,
+    /// Total memory energy (joules) with the three-level hierarchy.
+    pub energy_cached_j: f64,
+}
+
+impl CacheReport {
+    /// Fraction of node visits served by the top cache.
+    pub fn unit_hit_rate(&self) -> f64 {
+        let total = self.unit_hits + self.unit_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.unit_hits as f64 / total as f64
+        }
+    }
+
+    /// Memory-energy reduction factor from caching.
+    pub fn energy_saving(&self) -> f64 {
+        if self.energy_cached_j <= 0.0 {
+            1.0
+        } else {
+            self.energy_uncached_j / self.energy_cached_j
+        }
+    }
+}
+
+/// Configuration of the cache hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Tree levels (from the root) held in the Top NS Cache.
+    pub cached_levels: usize,
+    /// Words per cached MBR node (2·d plus a pointer word).
+    pub words_per_node: u64,
+    /// Average neighborhood entries shared with the refinement module.
+    pub neighborhood_entries: u64,
+}
+
+impl Default for CacheConfig {
+    /// Two cached top levels; 7-DoF worst-case node payload.
+    fn default() -> Self {
+        CacheConfig { cached_levels: 2, words_per_node: 15, neighborhood_entries: 6 }
+    }
+}
+
+/// Applies the cache model to accumulated SI-MBR search statistics.
+///
+/// `accepted_rounds` scales the module/engine-level savings (one trace
+/// reuse and one neighborhood handoff per accepted sample).
+pub fn apply(stats: &SearchStats, accepted_rounds: u64, cfg: &CacheConfig) -> CacheReport {
+    let mut report = CacheReport::default();
+    for (depth, &visits) in stats.visits_by_depth.iter().enumerate() {
+        if depth < cfg.cached_levels {
+            report.unit_hits += visits;
+        } else {
+            report.unit_misses += visits;
+        }
+    }
+    // Module level: the insertion path (≈ tree height words) re-served
+    // from the trace once per accepted round.
+    let height = stats.visits_by_depth.len() as u64;
+    report.trace_words_saved = accepted_rounds * height * cfg.words_per_node;
+    // Engine level: the refinement module re-reads the neighbor set.
+    report.neighborhood_words_saved =
+        accepted_rounds * cfg.neighborhood_entries * cfg.words_per_node;
+
+    let total_visit_words =
+        (report.unit_hits + report.unit_misses) * cfg.words_per_node;
+    let reread_words = report.trace_words_saved + report.neighborhood_words_saved;
+    report.energy_uncached_j =
+        (total_visit_words + reread_words) as f64 * params::SRAM_WORD_ENERGY_J;
+    report.energy_cached_j = (report.unit_misses * cfg.words_per_node) as f64
+        * params::SRAM_WORD_ENERGY_J
+        + (report.unit_hits * cfg.words_per_node + reread_words) as f64
+            * params::CACHE_WORD_ENERGY_J;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_depths(depths: &[u64]) -> SearchStats {
+        let mut s = SearchStats::default();
+        s.visits_by_depth = depths.to_vec();
+        s.nodes_visited = depths.iter().sum();
+        s
+    }
+
+    #[test]
+    fn empty_stats_yield_empty_report() {
+        let r = apply(&SearchStats::default(), 0, &CacheConfig::default());
+        assert_eq!(r.unit_hits + r.unit_misses, 0);
+        assert_eq!(r.unit_hit_rate(), 0.0);
+        assert_eq!(r.energy_saving(), 1.0);
+    }
+
+    #[test]
+    fn top_levels_hit_bottom_levels_miss() {
+        let s = stats_with_depths(&[100, 300, 500, 700]);
+        let r = apply(&s, 0, &CacheConfig::default());
+        assert_eq!(r.unit_hits, 400);
+        assert_eq!(r.unit_misses, 1200);
+        assert!((r.unit_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caching_always_saves_energy() {
+        let s = stats_with_depths(&[1000, 2000, 4000]);
+        let r = apply(&s, 500, &CacheConfig::default());
+        assert!(r.energy_cached_j < r.energy_uncached_j);
+        assert!(r.energy_saving() > 1.0);
+    }
+
+    #[test]
+    fn deeper_cache_config_saves_more() {
+        let s = stats_with_depths(&[100, 200, 400, 800, 1600]);
+        let shallow = apply(&s, 100, &CacheConfig { cached_levels: 1, ..CacheConfig::default() });
+        let deep = apply(&s, 100, &CacheConfig { cached_levels: 4, ..CacheConfig::default() });
+        assert!(deep.energy_cached_j < shallow.energy_cached_j);
+        assert!(deep.unit_hit_rate() > shallow.unit_hit_rate());
+    }
+
+    #[test]
+    fn accepted_rounds_scale_reuse_savings() {
+        let s = stats_with_depths(&[10, 20]);
+        let few = apply(&s, 10, &CacheConfig::default());
+        let many = apply(&s, 1000, &CacheConfig::default());
+        assert!(many.trace_words_saved > few.trace_words_saved);
+        assert!(many.neighborhood_words_saved > few.neighborhood_words_saved);
+    }
+
+    #[test]
+    fn root_heavy_traffic_has_high_hit_rate() {
+        // Real searches visit the root every time but only a few deep
+        // nodes thanks to MINDIST pruning — model should show a strong
+        // hit rate.
+        let s = stats_with_depths(&[5000, 9000, 4000, 900, 100]);
+        let r = apply(&s, 0, &CacheConfig::default());
+        assert!(r.unit_hit_rate() > 0.7);
+    }
+}

@@ -1,0 +1,253 @@
+//! Trace-driven cache simulation for the NS memory hierarchy (§IV-C).
+//!
+//! The analytic model in [`crate::cache`] classifies accesses by depth;
+//! this module goes further and *replays actual node-access traces* from
+//! [`moped_simbr::SiMbrTree::nearest_traced`] through a configurable
+//! set-associative LRU cache — the Top NS Cache structure — reporting
+//! measured hit rates and energy. This is how the unit-level caching
+//! claim ("the top part of the tree is always accessed more frequently")
+//! is validated rather than assumed.
+
+use std::collections::VecDeque;
+
+use crate::params;
+
+/// A set-associative LRU cache over node identifiers.
+///
+/// # Example
+///
+/// ```
+/// use moped_hw::cachesim::LruCache;
+/// let mut c = LruCache::new(4, 2);
+/// assert!(!c.access(7)); // cold miss
+/// assert!(c.access(7));  // hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    sets: Vec<VecDeque<usize>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache with `sets` sets of `ways` ways (capacity =
+    /// `sets * ways` node records).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache dimensions must be positive");
+        LruCache { sets: vec![VecDeque::new(); sets], ways, hits: 0, misses: 0 }
+    }
+
+    /// Total capacity in node records.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Accesses node `id`; returns `true` on a hit. Misses allocate with
+    /// LRU replacement.
+    pub fn access(&mut self, id: usize) -> bool {
+        let set = id % self.sets.len();
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&x| x == id) {
+            // Move to MRU position.
+            q.remove(pos);
+            q.push_back(id);
+            self.hits += 1;
+            true
+        } else {
+            if q.len() == self.ways {
+                q.pop_front();
+            }
+            q.push_back(id);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit fraction (0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Result of replaying an access trace through the Top NS Cache model.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayReport {
+    /// Node accesses replayed.
+    pub accesses: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Measured hit rate.
+    pub hit_rate: f64,
+    /// Memory energy without the cache (all SRAM), joules.
+    pub energy_uncached_j: f64,
+    /// Memory energy with the cache, joules.
+    pub energy_cached_j: f64,
+}
+
+impl ReplayReport {
+    /// Energy-reduction factor delivered by the cache.
+    pub fn energy_saving(&self) -> f64 {
+        if self.energy_cached_j <= 0.0 {
+            1.0
+        } else {
+            self.energy_uncached_j / self.energy_cached_j
+        }
+    }
+}
+
+/// Replays `trace` (ordered node ids from SI-MBR searches) through a Top
+/// NS Cache of the given geometry; `words_per_node` prices each access.
+pub fn replay(trace: &[usize], sets: usize, ways: usize, words_per_node: u64) -> ReplayReport {
+    let mut cache = LruCache::new(sets, ways);
+    for &id in trace {
+        cache.access(id);
+    }
+    let accesses = trace.len() as u64;
+    let words = accesses * words_per_node;
+    let hit_words = cache.hits() * words_per_node;
+    let miss_words = cache.misses() * words_per_node;
+    ReplayReport {
+        accesses,
+        hits: cache.hits(),
+        hit_rate: cache.hit_rate(),
+        energy_uncached_j: words as f64 * params::SRAM_WORD_ENERGY_J,
+        energy_cached_j: hit_words as f64 * params::CACHE_WORD_ENERGY_J
+            + miss_words as f64 * (params::SRAM_WORD_ENERGY_J + params::CACHE_WORD_ENERGY_J),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moped_geometry::{Config, OpCount};
+    use moped_simbr::{SearchStats, SiMbrTree};
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = LruCache::new(8, 2);
+        assert!(!c.access(3));
+        assert!(c.access(3));
+        assert!(c.access(3));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        let mut c = LruCache::new(1, 2);
+        c.access(0);
+        c.access(1);
+        c.access(0); // 0 becomes MRU
+        assert!(!c.access(2)); // evicts 1
+        assert!(c.access(0), "0 must have survived");
+        assert!(!c.access(1), "1 must have been evicted");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = LruCache::new(2, 2);
+        c.access(1);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.access(1));
+    }
+
+    #[test]
+    fn replay_saves_energy_on_root_heavy_traces() {
+        // Synthetic trace: the root (0) between every deep access —
+        // the §IV-C temporal-locality pattern.
+        let mut trace = Vec::new();
+        for i in 0..500 {
+            trace.push(0);
+            trace.push(1 + (i % 3));
+            trace.push(100 + i);
+        }
+        let rep = replay(&trace, 16, 4, 15);
+        assert!(rep.hit_rate > 0.5, "root-heavy trace should hit: {}", rep.hit_rate);
+        assert!(rep.energy_saving() > 1.0);
+    }
+
+    #[test]
+    fn replay_real_simbr_traces() {
+        // Build an RRT*-shaped tree and replay genuine search traces.
+        let mut tree = SiMbrTree::new(4, 6);
+        let mut ops = OpCount::default();
+        for i in 0..400u64 {
+            let c = Config::new(&[
+                ((i * 7) % 83) as f64,
+                ((i * 13) % 71) as f64,
+                ((i * 29) % 67) as f64,
+                ((i * 31) % 59) as f64,
+            ]);
+            tree.insert_conventional(i, c, &mut ops);
+        }
+        let mut stats = SearchStats::default();
+        for j in 0..200u64 {
+            let q = Config::new(&[
+                ((j * 11) % 83) as f64 + 0.4,
+                ((j * 17) % 71) as f64,
+                ((j * 23) % 67) as f64,
+                ((j * 37) % 59) as f64,
+            ]);
+            let traced = tree.nearest_traced(&q, &mut ops, &mut stats);
+            let plain = tree.nearest(&q, &mut ops);
+            assert_eq!(traced, plain, "traced search must stay exact");
+        }
+        assert!(!stats.access_trace.is_empty());
+        let rep = replay(&stats.access_trace, 32, 4, 2 * 4);
+        // The root and top levels recur in every search: a 128-entry
+        // cache must capture meaningful reuse.
+        assert!(
+            rep.hit_rate > 0.4,
+            "real traces should show temporal locality: {:.2}",
+            rep.hit_rate
+        );
+        assert!(rep.energy_saving() > 1.2);
+    }
+
+    #[test]
+    fn bigger_caches_hit_more() {
+        let mut trace = Vec::new();
+        for i in 0..2000usize {
+            trace.push(i % 97);
+        }
+        let small = replay(&trace, 4, 2, 8);
+        let big = replay(&trace, 32, 4, 8);
+        assert!(big.hit_rate >= small.hit_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_geometry_rejected() {
+        let _ = LruCache::new(0, 1);
+    }
+}

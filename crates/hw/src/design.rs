@@ -1,0 +1,161 @@
+//! Design-point roll-up: area, power, and SRAM budget of the MOPED
+//! hardware example (§V-B: 168 MACs, 198 KB SRAM, 0.62 mm², 137.5 mW at
+//! 1 GHz in 28nm).
+
+use crate::params;
+
+/// One on-chip memory of the Fig 11 floorplan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SramBank {
+    /// Bank name as it appears in the architecture figure.
+    pub name: &'static str,
+    /// Capacity in KB.
+    pub kb: f64,
+}
+
+/// A parameterized MOPED design point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignPoint {
+    macs: usize,
+    banks: Vec<SramBank>,
+    /// Average fraction of MAC lanes toggling per cycle (activity factor
+    /// used for the dynamic-power estimate).
+    activity: f64,
+    /// Average SRAM words touched per cycle.
+    words_per_cycle: f64,
+}
+
+impl DesignPoint {
+    /// A custom design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs == 0` or activity is outside `(0, 1]`.
+    pub fn new(macs: usize, banks: Vec<SramBank>, activity: f64, words_per_cycle: f64) -> Self {
+        assert!(macs > 0, "need at least one MAC");
+        assert!(activity > 0.0 && activity <= 1.0, "activity in (0,1]");
+        DesignPoint { macs, banks, activity, words_per_cycle }
+    }
+
+    /// Number of MAC units.
+    pub fn macs(&self) -> usize {
+        self.macs
+    }
+
+    /// The SRAM banks.
+    pub fn banks(&self) -> &[SramBank] {
+        &self.banks
+    }
+
+    /// Total SRAM capacity (KB).
+    pub fn sram_kb(&self) -> f64 {
+        self.banks.iter().map(|b| b.kb).sum()
+    }
+
+    /// Datapath + memory silicon area (mm²).
+    pub fn area_mm2(&self) -> f64 {
+        self.macs as f64 * params::MAC_AREA_MM2 + self.sram_kb() * params::SRAM_AREA_MM2_PER_KB
+    }
+
+    /// Average power at the nominal clock (watts): switching MACs plus
+    /// SRAM traffic plus leakage.
+    pub fn power_w(&self) -> f64 {
+        let mac_dyn =
+            self.macs as f64 * self.activity * params::MAC_ENERGY_J * params::CLOCK_HZ;
+        let mem_dyn = self.words_per_cycle * params::SRAM_WORD_ENERGY_J * params::CLOCK_HZ;
+        mac_dyn + mem_dyn + params::LEAKAGE_W
+    }
+}
+
+impl Default for DesignPoint {
+    /// The paper's design example: 168 MACs and a 198 KB SRAM budget
+    /// split across the Fig 11 memories, tuned to land near 0.62 mm² and
+    /// 137.5 mW.
+    fn default() -> Self {
+        DesignPoint::new(
+            params::TOTAL_MACS,
+            vec![
+                // Exploration-tree node coordinates: 5000 nodes × 8 DoF ×
+                // 16 bit ≈ 80 KB.
+                SramBank { name: "EXP Node SRAM", kb: 80.0 },
+                // SI-MBR-Tree bottom levels (MBRs + leaf pointers).
+                SramBank { name: "Bottom NS SRAM", kb: 64.0 },
+                // Cached top levels of the SI-MBR-Tree.
+                SramBank { name: "Top NS Cache", kb: 4.0 },
+                // OBB-format obstacles (48 × 15 words is tiny; sized for
+                // headroom and double buffering).
+                SramBank { name: "Obstacle OBB SRAM", kb: 8.0 },
+                // AABB-relaxed obstacle R-tree.
+                SramBank { name: "Obstacle AABB SRAM", kb: 8.0 },
+                // EXP-tree structure: parent links + path costs.
+                SramBank { name: "EXP Struct SRAM", kb: 24.0 },
+                // Neighborhood cache shared with the refinement module.
+                SramBank { name: "Neighborhood Cache", kb: 8.0 },
+                // S&R FIFO + Missing Neighbors Buffer (0.75 KB) + misc.
+                SramBank { name: "S&R Buffers", kb: 2.0 },
+            ],
+            0.8,
+            30.5,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_budget() {
+        let d = DesignPoint::default();
+        assert_eq!(d.macs(), 168);
+        assert!((d.sram_kb() - 198.0).abs() < 1e-9, "SRAM budget {}", d.sram_kb());
+    }
+
+    #[test]
+    fn default_area_near_paper() {
+        let d = DesignPoint::default();
+        let area = d.area_mm2();
+        assert!(
+            (area - 0.62).abs() < 0.08,
+            "area {area:.3} mm² should be near the paper's 0.62"
+        );
+    }
+
+    #[test]
+    fn default_power_near_paper() {
+        let d = DesignPoint::default();
+        let p = d.power_w();
+        assert!(
+            (p - 0.1375).abs() < 0.04,
+            "power {:.1} mW should be near the paper's 137.5",
+            p * 1e3
+        );
+    }
+
+    #[test]
+    fn area_scales_with_macs_and_sram() {
+        let small = DesignPoint::new(64, vec![SramBank { name: "m", kb: 32.0 }], 0.5, 4.0);
+        let big = DesignPoint::new(256, vec![SramBank { name: "m", kb: 256.0 }], 0.5, 4.0);
+        assert!(big.area_mm2() > small.area_mm2());
+    }
+
+    #[test]
+    fn power_includes_leakage_floor() {
+        let idle = DesignPoint::new(1, Vec::new(), 1e-6, 0.0);
+        assert!(idle.power_w() >= params::LEAKAGE_W);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MAC")]
+    fn zero_macs_rejected() {
+        let _ = DesignPoint::new(0, Vec::new(), 0.5, 1.0);
+    }
+
+    #[test]
+    fn bank_names_are_unique() {
+        let d = DesignPoint::default();
+        let names: std::collections::HashSet<&str> =
+            d.banks().iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), d.banks().len());
+    }
+}

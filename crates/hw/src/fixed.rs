@@ -1,0 +1,157 @@
+//! 16-bit fixed-point quantization — the on-chip number format.
+//!
+//! The MOPED datapath stores every coordinate, halfwidth, and rotation
+//! entry as a 16-bit value (Fig 11). This module provides Q-format
+//! quantization and the helpers used to validate that planner decisions
+//! are stable under that precision.
+
+use moped_geometry::Config;
+
+/// A Q-format descriptor: signed 16-bit with `frac_bits` fractional bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QFormat {
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// Workspace-coordinate format Q9.6: range ±512, resolution 1/64 —
+    /// covers the 300-unit workspace with sub-unit precision.
+    pub const WORKSPACE: QFormat = QFormat { frac_bits: 6 };
+
+    /// Angle / rotation-matrix format Q2.13: range ±4, resolution ≈1.2e-4
+    /// — covers radians and unit-matrix entries.
+    pub const ANGLE: QFormat = QFormat { frac_bits: 13 };
+
+    /// Creates a format with the given fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits >= 16`.
+    pub const fn new(frac_bits: u8) -> Self {
+        assert!(frac_bits < 16, "at most 15 fractional bits");
+        QFormat { frac_bits }
+    }
+
+    /// Fractional bit count.
+    pub const fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Smallest representable increment.
+    pub fn resolution(&self) -> f64 {
+        1.0 / f64::from(1u32 << self.frac_bits)
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_value(&self) -> f64 {
+        f64::from(i16::MAX) * self.resolution()
+    }
+
+    /// Quantizes a value to the nearest representable fixed-point code
+    /// (saturating at the format limits).
+    pub fn quantize(&self, v: f64) -> i16 {
+        let scaled = v * f64::from(1u32 << self.frac_bits);
+        scaled.round().clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+    }
+
+    /// Decodes a fixed-point code back to `f64`.
+    pub fn dequantize(&self, raw: i16) -> f64 {
+        f64::from(raw) * self.resolution()
+    }
+
+    /// Round-trips a value through the format (`dequantize(quantize(v))`).
+    pub fn roundtrip(&self, v: f64) -> f64 {
+        self.dequantize(self.quantize(v))
+    }
+
+    /// Quantizes every coordinate of a configuration.
+    pub fn roundtrip_config(&self, q: &Config) -> Config {
+        let coords: Vec<f64> = q.as_slice().iter().map(|v| self.roundtrip(*v)).collect();
+        Config::new(&coords)
+    }
+}
+
+/// Maximum absolute quantization error a single round-trip can introduce
+/// (half a resolution step).
+pub fn max_roundtrip_error(fmt: QFormat) -> f64 {
+    fmt.resolution() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let fmt = QFormat::WORKSPACE;
+        let bound = max_roundtrip_error(fmt) + 1e-12;
+        for i in 0..2000 {
+            let v = (i as f64) * 0.1537 - 150.0;
+            assert!((fmt.roundtrip(v) - v).abs() <= bound, "v={v}");
+        }
+    }
+
+    #[test]
+    fn workspace_format_covers_300_units() {
+        assert!(QFormat::WORKSPACE.max_value() > 300.0);
+        assert!(QFormat::WORKSPACE.resolution() <= 1.0 / 32.0);
+    }
+
+    #[test]
+    fn angle_format_covers_pi() {
+        assert!(QFormat::ANGLE.max_value() > std::f64::consts::PI);
+        assert!(QFormat::ANGLE.resolution() < 1e-3);
+    }
+
+    #[test]
+    fn saturation_at_limits() {
+        let fmt = QFormat::WORKSPACE;
+        assert_eq!(fmt.quantize(1e9), i16::MAX);
+        assert_eq!(fmt.quantize(-1e9), i16::MIN);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let fmt = QFormat::new(8);
+        for v in [-3.7, 0.0, 1.0 / 256.0, 99.99] {
+            let once = fmt.roundtrip(v);
+            assert_eq!(once, fmt.roundtrip(once));
+        }
+    }
+
+    #[test]
+    fn config_roundtrip_preserves_dimension() {
+        let fmt = QFormat::WORKSPACE;
+        let q = Config::new(&[1.01, -2.02, 3.03, 250.7]);
+        let r = fmt.roundtrip_config(&q);
+        assert_eq!(r.dim(), 4);
+        for i in 0..4 {
+            assert!((r[i] - q[i]).abs() <= max_roundtrip_error(fmt) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_decisions_survive_quantization() {
+        // If two candidate distances differ by more than the worst-case
+        // quantization skew, the fixed-point compare agrees with f64.
+        let fmt = QFormat::WORKSPACE;
+        let q = Config::new(&[10.3, 20.7]);
+        let a = Config::new(&[11.0, 21.0]); // clearly nearer
+        let b = Config::new(&[40.0, -3.0]);
+        let (qq, aq, bq) = (
+            fmt.roundtrip_config(&q),
+            fmt.roundtrip_config(&a),
+            fmt.roundtrip_config(&b),
+        );
+        assert_eq!(
+            a.distance(&q) < b.distance(&q),
+            aq.distance(&qq) < bq.distance(&qq)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_frac_bits_rejected() {
+        let _ = QFormat::new(16);
+    }
+}

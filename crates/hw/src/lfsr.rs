@@ -1,0 +1,182 @@
+//! Linear-feedback shift registers — the hardware random samplers.
+//!
+//! MOPED's Tree Extension Module samples the configuration space with a
+//! group of LFSRs (Fig 11), one per degree of freedom. This module
+//! implements a maximal-period 16-bit Galois LFSR and the multi-channel
+//! configuration sampler built from it.
+
+use moped_geometry::Config;
+use moped_robot::Robot;
+
+/// Taps for a maximal-length 16-bit Galois LFSR (x^16 + x^14 + x^13 +
+/// x^11 + 1), period 2^16 − 1.
+const TAPS16: u16 = 0xB400;
+
+/// A 16-bit Galois LFSR.
+///
+/// # Example
+///
+/// ```
+/// use moped_hw::lfsr::Lfsr16;
+/// let mut l = Lfsr16::new(0xACE1);
+/// let a = l.next_u16();
+/// let b = l.next_u16();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+impl Lfsr16 {
+    /// Creates an LFSR with the given non-zero seed (a zero seed is
+    /// remapped to a fixed non-zero constant, since the all-zero state is
+    /// a fixed point of the recurrence).
+    pub fn new(seed: u16) -> Self {
+        Lfsr16 { state: if seed == 0 { 0xACE1 } else { seed } }
+    }
+
+    /// Advances one step and returns the new state.
+    #[inline]
+    pub fn next_u16(&mut self) -> u16 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb != 0 {
+            self.state ^= TAPS16;
+        }
+        self.state
+    }
+
+    /// Current state without advancing.
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+
+    /// A uniform draw in `[0, 1)` (16-bit resolution).
+    #[inline]
+    pub fn next_unit(&mut self) -> f64 {
+        f64::from(self.next_u16()) / 65536.0
+    }
+}
+
+/// A bank of per-axis LFSRs sampling a robot's configuration space — the
+/// hardware-faithful replacement for a software RNG.
+#[derive(Clone, Debug)]
+pub struct ConfigSampler {
+    channels: Vec<Lfsr16>,
+}
+
+impl ConfigSampler {
+    /// One LFSR per degree of freedom, seeded distinctly from `seed`.
+    pub fn new(dof: usize, seed: u16) -> Self {
+        let channels = (0..dof)
+            .map(|i| Lfsr16::new(seed.wrapping_add((i as u16).wrapping_mul(0x9E37)).max(1)))
+            .collect();
+        ConfigSampler { channels }
+    }
+
+    /// Draws a configuration within the robot's bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler's channel count differs from the robot's DoF.
+    pub fn sample(&mut self, robot: &Robot) -> Config {
+        assert_eq!(self.channels.len(), robot.dof(), "sampler/robot DoF mismatch");
+        let unit: Vec<f64> = self.channels.iter_mut().map(Lfsr16::next_unit).collect();
+        robot.config_from_unit(&unit)
+    }
+
+    /// Number of channels (== robot DoF).
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut l = Lfsr16::new(0);
+        assert_ne!(l.state(), 0);
+        assert_ne!(l.next_u16(), 0);
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut l = Lfsr16::new(1);
+        for _ in 0..70_000 {
+            assert_ne!(l.next_u16(), 0);
+        }
+    }
+
+    #[test]
+    fn period_is_maximal() {
+        let mut l = Lfsr16::new(0xACE1);
+        let start = l.state();
+        let mut period = 0u32;
+        loop {
+            l.next_u16();
+            period += 1;
+            if l.state() == start {
+                break;
+            }
+            assert!(period <= 65535, "period exceeded 2^16-1");
+        }
+        assert_eq!(period, 65535, "taps must give a maximal-length sequence");
+    }
+
+    #[test]
+    fn unit_draws_are_roughly_uniform() {
+        let mut l = Lfsr16::new(0xBEEF);
+        let n = 20_000;
+        let mut buckets = [0u32; 8];
+        for _ in 0..n {
+            let u = l.next_unit();
+            assert!((0.0..1.0).contains(&u));
+            buckets[(u * 8.0) as usize] += 1;
+        }
+        let expect = n as f64 / 8.0;
+        for b in buckets {
+            assert!(
+                (f64::from(b) - expect).abs() < expect * 0.15,
+                "bucket {b} deviates from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_sampler_stays_in_bounds() {
+        let robot = Robot::xarm7();
+        let mut s = ConfigSampler::new(robot.dof(), 0x1234);
+        for _ in 0..500 {
+            let q = s.sample(&robot);
+            assert!(robot.in_bounds(&q));
+        }
+    }
+
+    #[test]
+    fn channels_decorrelate() {
+        let robot = Robot::drone_3d();
+        let mut s = ConfigSampler::new(robot.dof(), 7);
+        let q = s.sample(&robot);
+        // All six axes should not be identical fractions of their ranges.
+        let fracs: Vec<f64> = q
+            .as_slice()
+            .iter()
+            .zip(robot.config_bounds())
+            .map(|(v, (lo, hi))| (v - lo) / (hi - lo))
+            .collect();
+        let first = fracs[0];
+        assert!(fracs.iter().any(|f| (f - first).abs() > 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "DoF mismatch")]
+    fn sampler_robot_mismatch_rejected() {
+        let robot = Robot::mobile_2d();
+        let mut s = ConfigSampler::new(5, 1);
+        let _ = s.sample(&robot);
+    }
+}

@@ -1,0 +1,364 @@
+//! Bit-accurate 16-bit fixed-point SAT datapath.
+//!
+//! The MOPED checker operates on 16-bit operands (Fig 11: every OBB/AABB
+//! field is a 16-bit value). This module implements the OBB–OBB
+//! separating-axis test exactly as the integer datapath would execute it —
+//! `i16` inputs, `i64` accumulators, no floating point — so the
+//! reproduction can measure how often the quantized hardware disagrees
+//! with an exact double-precision checker (it must be rare and confined
+//! to razor-thin contacts, or the synthesized design would mis-plan).
+//!
+//! Number formats follow [`crate::fixed`]: workspace coordinates in Q9.6,
+//! rotation-matrix entries in Q2.13.
+
+use moped_geometry::{Obb, OpCount};
+
+use crate::fixed::QFormat;
+
+/// A quantized 3D OBB: the exact bits the obstacle OBB SRAM would hold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QObb {
+    /// Center, Q9.6.
+    pub center: [i16; 3],
+    /// Positive halfwidths, Q9.6.
+    pub half: [i16; 3],
+    /// Row-major rotation entries, Q2.13.
+    pub rot: [[i16; 3]; 3],
+}
+
+impl QObb {
+    /// Quantizes an algorithm-level OBB into the on-chip encoding.
+    pub fn from_obb(o: &Obb) -> QObb {
+        let ws = QFormat::WORKSPACE;
+        let ang = QFormat::ANGLE;
+        let c = o.center();
+        let h = o.half_extents();
+        let r = o.rotation();
+        QObb {
+            center: [ws.quantize(c.x), ws.quantize(c.y), ws.quantize(c.z)],
+            half: [ws.quantize(h.x), ws.quantize(h.y), ws.quantize(h.z)],
+            rot: [
+                [ang.quantize(r.m[0][0]), ang.quantize(r.m[0][1]), ang.quantize(r.m[0][2])],
+                [ang.quantize(r.m[1][0]), ang.quantize(r.m[1][1]), ang.quantize(r.m[1][2])],
+                [ang.quantize(r.m[2][0]), ang.quantize(r.m[2][1]), ang.quantize(r.m[2][2])],
+            ],
+        }
+    }
+
+    /// Dequantizes back to an algorithm-level OBB (for cross-checking).
+    pub fn to_obb(&self) -> Obb {
+        let ws = QFormat::WORKSPACE;
+        let ang = QFormat::ANGLE;
+        let de = |v: i16| ws.dequantize(v);
+        let da = |v: i16| ang.dequantize(v);
+        // Halfwidths are clamped non-negative: quantization of a tiny
+        // positive halfwidth can round to zero but never below.
+        let half = moped_geometry::Vec3::new(
+            de(self.half[0]).max(0.0),
+            de(self.half[1]).max(0.0),
+            de(self.half[2]).max(0.0),
+        );
+        let rot = moped_geometry::Mat3::from_rows(
+            [da(self.rot[0][0]), da(self.rot[0][1]), da(self.rot[0][2])],
+            [da(self.rot[1][0]), da(self.rot[1][1]), da(self.rot[1][2])],
+            [da(self.rot[2][0]), da(self.rot[2][1]), da(self.rot[2][2])],
+        );
+        Obb::new(
+            moped_geometry::Vec3::new(de(self.center[0]), de(self.center[1]), de(self.center[2])),
+            half,
+            rot,
+        )
+    }
+}
+
+// Fraction bits of the angle format, fixed at the datapath boundary
+// (workspace values stay in Q9.6 and never need an explicit shift).
+const ANG_FRAC: u32 = 13; // Q2.13
+
+/// Integer 15-axis OBB–OBB SAT on quantized boxes.
+///
+/// All products are exact in `i64`; comparisons align binary points by
+/// shifting, so the only inexactness relative to real arithmetic is the
+/// input quantization itself. A one-ULP conservative slack is added to
+/// the radius side of every comparison, biasing disagreements toward
+/// *reporting contact* (a false positive merely costs path quality; a
+/// false negative would collide the robot).
+#[allow(clippy::needless_range_loop)]
+pub fn obb_obb_q(a: &QObb, b: &QObb, ops: &mut OpCount) -> bool {
+    ops.sat_queries += 1;
+    // r[i][j] = a_i · b_j, Q2.13 × Q2.13 → Q4.26 in i64.
+    let mut r = [[0i64; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            let mut acc = 0i64;
+            for k in 0..3 {
+                acc += i64::from(a.rot[k][i]) * i64::from(b.rot[k][j]);
+            }
+            r[i][j] = acc;
+        }
+    }
+    ops.mul += 27;
+    ops.add += 18;
+
+    // t = (b.center - a.center) rotated into A's frame:
+    // Q9.6 diff × Q2.13 → Q11.19.
+    let mut t = [0i64; 3];
+    for i in 0..3 {
+        let mut acc = 0i64;
+        for k in 0..3 {
+            let d = i64::from(b.center[k]) - i64::from(a.center[k]);
+            acc += d * i64::from(a.rot[k][i]);
+        }
+        t[i] = acc;
+    }
+    ops.mul += 9;
+    ops.add += 9;
+
+    let abs_r: [[i64; 3]; 3] = {
+        let mut m = [[0i64; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                // +1 ULP robustness slack (the fixed-point analogue of
+                // the float epsilon in the reference kernel).
+                m[i][j] = r[i][j].abs() + 1;
+            }
+        }
+        m
+    };
+    ops.add += 9;
+
+    let ha = [i64::from(a.half[0]), i64::from(a.half[1]), i64::from(a.half[2])];
+    let hb = [i64::from(b.half[0]), i64::from(b.half[1]), i64::from(b.half[2])];
+
+    // Axis class 1: A's axes. ra is Q9.6; rb is Q9.6×Q4.26 → Q13.32;
+    // t is Q11.19. Align everything to frac = 6+26 = 32.
+    for i in 0..3 {
+        let ra = ha[i] << (2 * ANG_FRAC); // Q.6 → Q.32
+        let rb = hb[0] * abs_r[i][0] + hb[1] * abs_r[i][1] + hb[2] * abs_r[i][2];
+        let tp = t[i].abs() << ANG_FRAC; // Q.19 → Q.32
+        ops.mul += 3;
+        ops.add += 3;
+        ops.cmp += 1;
+        if tp > ra + rb {
+            return false;
+        }
+    }
+
+    // Axis class 2: B's axes. tp = Σ t_k · r[k][j]: Q.19 × Q.26-scale —
+    // t is Q.19, r is Q.26? No: r entries are Q4.26? They are products of
+    // two Q2.13 values → frac 26. t·r → frac 19+26 = 45. ra/rb at frac
+    // 6+26 = 32 must be shifted by 13 to 45.
+    for j in 0..3 {
+        let ra = ha[0] * abs_r[0][j] + ha[1] * abs_r[1][j] + ha[2] * abs_r[2][j];
+        let rb = hb[j] << (2 * ANG_FRAC);
+        let tp = t[0] * r[0][j] + t[1] * r[1][j] + t[2] * r[2][j];
+        ops.mul += 6;
+        ops.add += 5;
+        ops.cmp += 1;
+        if tp.abs() > (ra + rb) << ANG_FRAC {
+            return false;
+        }
+    }
+
+    // Axis class 3: cross products A_i × B_j.
+    // ra, rb at frac 32; tp = t_v·r[u][j] − t_u·r[v][j] at frac 45.
+    for i in 0..3 {
+        let (u, v) = ((i + 1) % 3, (i + 2) % 3);
+        for j in 0..3 {
+            let (p, q) = ((j + 1) % 3, (j + 2) % 3);
+            let ra = ha[u] * abs_r[v][j] + ha[v] * abs_r[u][j];
+            let rb = hb[p] * abs_r[i][q] + hb[q] * abs_r[i][p];
+            let tp = t[v] * r[u][j] - t[u] * r[v][j];
+            ops.mul += 6;
+            ops.add += 4;
+            ops.cmp += 1;
+            if tp.abs() > (ra + rb) << ANG_FRAC {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Agreement statistics of the quantized datapath against the exact
+/// double-precision kernel over a workload of box pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AgreementReport {
+    /// Pairs evaluated.
+    pub total: u64,
+    /// Pairs where both kernels agree.
+    pub agree: u64,
+    /// Quantized says intersect, exact says free (conservative).
+    pub false_positive: u64,
+    /// Quantized says free, exact says intersect (dangerous).
+    pub false_negative: u64,
+}
+
+impl AgreementReport {
+    /// Agreement fraction.
+    pub fn agreement(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.agree as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compares the quantized and exact kernels over the given pairs.
+pub fn agreement(pairs: &[(Obb, Obb)]) -> AgreementReport {
+    let mut rep = AgreementReport::default();
+    let mut ops = OpCount::default();
+    for (a, b) in pairs {
+        rep.total += 1;
+        let exact = moped_geometry::sat::obb_obb(a, b, &mut ops);
+        let qa = QObb::from_obb(a);
+        let qb = QObb::from_obb(b);
+        let quant = obb_obb_q(&qa, &qb, &mut ops);
+        match (quant, exact) {
+            (x, y) if x == y => rep.agree += 1,
+            (true, false) => rep.false_positive += 1,
+            (false, true) => rep.false_negative += 1,
+            _ => unreachable!(),
+        }
+    }
+    rep
+}
+
+/// A motion collision checker that runs entirely on the quantized 16-bit
+/// datapath: obstacles are held in their SRAM encoding ([`QObb`]) and
+/// every robot body produced by forward kinematics is quantized before
+/// the integer SAT — planning end-to-end exactly as the hardware would.
+///
+/// Like the hardware it models, this is an all-pairs checker (the R-tree
+/// filter stage is modelled separately); its purpose is validating that
+/// 16-bit planning produces equivalent plans, not peak software speed.
+#[derive(Clone, Debug)]
+pub struct QuantizedChecker {
+    obstacles: Vec<QObb>,
+    bodies: std::cell::RefCell<Vec<moped_geometry::Obb>>,
+}
+
+impl QuantizedChecker {
+    /// Quantizes the obstacle field into its on-chip encoding.
+    pub fn new(obstacles: &[moped_geometry::Obb]) -> Self {
+        QuantizedChecker {
+            obstacles: obstacles.iter().map(QObb::from_obb).collect(),
+            bodies: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The quantized obstacle records.
+    pub fn obstacles(&self) -> &[QObb] {
+        &self.obstacles
+    }
+}
+
+impl moped_collision::CollisionChecker for QuantizedChecker {
+    fn config_free(
+        &self,
+        robot: &moped_robot::Robot,
+        q: &moped_geometry::Config,
+        ledger: &mut moped_collision::CollisionLedger,
+    ) -> bool {
+        let mut bodies = self.bodies.borrow_mut();
+        robot.body_obbs_into(q, &mut bodies);
+        for body in bodies.iter() {
+            let qbody = QObb::from_obb(body);
+            for obs in &self.obstacles {
+                ledger.second_stage.mem_words += 15;
+                if obb_obb_q(obs, &qbody, &mut ledger.second_stage) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "quantized-16bit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moped_geometry::{Mat3, Vec3};
+
+    fn box_at(x: f64, yaw: f64) -> Obb {
+        Obb::new(
+            Vec3::new(x, 20.0, 20.0),
+            Vec3::new(3.0, 2.0, 1.5),
+            Mat3::from_euler(yaw, 0.3, -0.2),
+        )
+    }
+
+    #[test]
+    fn clear_separation_and_clear_overlap() {
+        let mut ops = OpCount::default();
+        let a = QObb::from_obb(&box_at(10.0, 0.2));
+        let far = QObb::from_obb(&box_at(40.0, 0.7));
+        let near = QObb::from_obb(&box_at(12.0, 0.7));
+        assert!(!obb_obb_q(&a, &far, &mut ops));
+        assert!(obb_obb_q(&a, &near, &mut ops));
+    }
+
+    #[test]
+    fn quantization_roundtrip_is_close() {
+        let o = box_at(123.456, 1.234);
+        let q = QObb::from_obb(&o).to_obb();
+        assert!((q.center() - o.center()).norm() < 0.02);
+        assert!((q.half_extents() - o.half_extents()).norm() < 0.02);
+    }
+
+    #[test]
+    fn agreement_is_overwhelming_on_random_pairs() {
+        let mut pairs = Vec::new();
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64 / 10_000.0
+        };
+        for _ in 0..2000 {
+            let a = Obb::new(
+                Vec3::new(rnd() * 200.0, rnd() * 200.0, rnd() * 200.0),
+                Vec3::new(1.0 + rnd() * 10.0, 1.0 + rnd() * 10.0, 1.0 + rnd() * 10.0),
+                Mat3::from_euler(rnd() * 6.0 - 3.0, rnd() * 3.0 - 1.5, rnd() * 6.0 - 3.0),
+            );
+            let b = Obb::new(
+                a.center()
+                    + Vec3::new(rnd() * 40.0 - 20.0, rnd() * 40.0 - 20.0, rnd() * 40.0 - 20.0),
+                Vec3::new(1.0 + rnd() * 10.0, 1.0 + rnd() * 10.0, 1.0 + rnd() * 10.0),
+                Mat3::from_euler(rnd() * 6.0 - 3.0, rnd() * 3.0 - 1.5, rnd() * 6.0 - 3.0),
+            );
+            pairs.push((a, b));
+        }
+        let rep = agreement(&pairs);
+        assert!(
+            rep.agreement() > 0.995,
+            "16-bit datapath must agree >99.5%: {rep:?}"
+        );
+        // Disagreements must be dominated by the conservative direction.
+        assert!(
+            rep.false_negative <= rep.false_positive.max(2),
+            "dangerous disagreements must be rare: {rep:?}"
+        );
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let mut ops = OpCount::default();
+        let a = QObb::from_obb(&box_at(10.0, 0.9));
+        let b = QObb::from_obb(&box_at(13.0, -0.4));
+        assert_eq!(obb_obb_q(&a, &b, &mut ops), obb_obb_q(&b, &a, &mut ops));
+    }
+
+    #[test]
+    fn self_intersection_detected() {
+        let mut ops = OpCount::default();
+        let a = QObb::from_obb(&box_at(10.0, 0.5));
+        assert!(obb_obb_q(&a, &a, &mut ops));
+    }
+}

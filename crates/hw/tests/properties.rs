@@ -1,0 +1,82 @@
+//! Property-based tests for the hardware model: pipeline scheduling laws,
+//! LFSR statistics, and fixed-point bounds.
+
+use moped_hw::fixed::QFormat;
+use moped_hw::lfsr::Lfsr16;
+use moped_hw::pipeline::{simulate, RoundCycles};
+use proptest::prelude::*;
+
+fn arb_rounds(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<RoundCycles>> {
+    prop::collection::vec((1u64..2000, 1u64..2000), n)
+        .prop_map(|v| v.into_iter().map(|(ns, cc)| RoundCycles { ns, cc }).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scheduling laws for any trace:
+    /// * the speculative schedule is never worse than serial + repair
+    ///   overhead,
+    /// * it is lower-bounded by each unit's total busy time,
+    /// * buffer occupancies stay within the architected sizes.
+    #[test]
+    fn pipeline_scheduling_laws(rounds in arb_rounds(1..300)) {
+        let rep = simulate(&rounds);
+        let repair_total = rounds.len() as u64 * moped_hw::params::overhead::REPAIR_CYCLES;
+        prop_assert!(rep.speculative_cycles <= rep.serial_cycles + repair_total);
+        let ns_busy: u64 = rounds.iter().map(|r| r.ns).sum::<u64>() + repair_total;
+        let cc_busy: u64 = rounds.iter().map(|r| r.cc).sum();
+        prop_assert!(rep.speculative_cycles >= ns_busy.max(cc_busy));
+        prop_assert!(rep.max_fifo_occupancy <= moped_hw::params::FIFO_DEPTH);
+        // The serial schedule is exactly the sum of stages.
+        prop_assert_eq!(rep.serial_cycles, rounds.iter().map(|r| r.ns + r.cc).sum::<u64>());
+    }
+
+    /// Speedup is bounded by the two-stage pipeline theoretical maximum.
+    #[test]
+    fn pipeline_speedup_bounded(rounds in arb_rounds(2..200)) {
+        let rep = simulate(&rounds);
+        prop_assert!(rep.speedup() <= 2.0 + 1e-9);
+        prop_assert!(rep.speedup() > 0.49);
+    }
+
+    /// Monotonicity: making every CC strictly cheaper never slows the
+    /// speculative schedule.
+    #[test]
+    fn cheaper_cc_never_hurts(rounds in arb_rounds(2..100)) {
+        let rep = simulate(&rounds);
+        let cheaper: Vec<RoundCycles> = rounds
+            .iter()
+            .map(|r| RoundCycles { ns: r.ns, cc: (r.cc / 2).max(1) })
+            .collect();
+        let rep2 = simulate(&cheaper);
+        prop_assert!(rep2.speculative_cycles <= rep.speculative_cycles);
+    }
+
+    /// Fixed-point round-trips stay within half a resolution step and are
+    /// idempotent, for any format and in-range value.
+    #[test]
+    fn fixed_point_error_bound(frac in 0u8..15, v in -100.0..100.0f64) {
+        let fmt = QFormat::new(frac);
+        prop_assume!(v.abs() < fmt.max_value());
+        let r = fmt.roundtrip(v);
+        prop_assert!((r - v).abs() <= fmt.resolution() / 2.0 + 1e-12);
+        prop_assert_eq!(fmt.roundtrip(r), r);
+    }
+
+    /// LFSR streams from different non-zero seeds eventually coincide in
+    /// sequence (same cycle) but never hit zero and pass a crude
+    /// mean-uniformity check.
+    #[test]
+    fn lfsr_statistics(seed in 1u16..u16::MAX) {
+        let mut l = Lfsr16::new(seed);
+        let mut sum = 0.0;
+        for _ in 0..4096 {
+            let u = l.next_unit();
+            prop_assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 4096.0;
+        prop_assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the octree occupancy baseline.
+
+use moped_geometry::{Mat3, Obb, OpCount, Vec3};
+use moped_octree::Octree;
+use proptest::prelude::*;
+
+fn arb_obb() -> impl Strategy<Value = Obb> {
+    (
+        (20.0..230.0f64, 20.0..230.0f64, 20.0..230.0f64),
+        (3.0..20.0f64, 3.0..20.0f64, 3.0..20.0f64),
+        -3.1..3.1f64,
+        -1.5..1.5f64,
+        -3.1..3.1f64,
+    )
+        .prop_map(|((x, y, z), (hx, hy, hz), yaw, pitch, roll)| {
+            Obb::new(
+                Vec3::new(x, y, z),
+                Vec3::new(hx, hy, hz),
+                Mat3::from_euler(yaw, pitch, roll),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservativeness: a body truly intersecting any obstacle is always
+    /// reported occupied by the octree (no false negatives), at any
+    /// depth.
+    #[test]
+    fn no_false_negatives(
+        obstacles in prop::collection::vec(arb_obb(), 1..8),
+        body in arb_obb(),
+        depth in 3u32..8,
+    ) {
+        let tree = Octree::build(&obstacles, Vec3::ZERO, 256.0, depth);
+        let truly_hit = obstacles.iter().any(|o| o.intersects(&body));
+        let mut ops = OpCount::default();
+        if truly_hit {
+            prop_assert!(tree.intersects_obb(&body, &mut ops),
+                "octree missed a real collision at depth {depth}");
+        }
+    }
+
+    /// Point occupancy agrees with exact geometry up to one voxel of
+    /// slack: occupied points within any obstacle must be detected, and
+    /// points farther than a voxel diagonal from every obstacle must be
+    /// free.
+    #[test]
+    fn point_occupancy_within_voxel_slack(
+        obstacles in prop::collection::vec(arb_obb(), 1..6),
+        (px, py, pz) in (0.0..256.0f64, 0.0..256.0f64, 0.0..256.0f64),
+    ) {
+        let depth = 7u32;
+        let tree = Octree::build(&obstacles, Vec3::ZERO, 256.0, depth);
+        let p = Vec3::new(px, py, pz);
+        let inside = obstacles.iter().any(|o| o.contains_point(p));
+        if inside {
+            prop_assert!(tree.occupied(p), "inside point reported free");
+        } else {
+            // Check distance to every obstacle's AABB inflated by one
+            // voxel diagonal; beyond that the point must be free.
+            let slack = tree.resolution() * 3f64.sqrt();
+            let clearly_free = obstacles.iter().all(|o| {
+                !moped_geometry::Aabb::from_obb(o).inflated(slack).contains_point(p)
+            });
+            if clearly_free {
+                prop_assert!(!tree.occupied(p), "far point reported occupied");
+            }
+        }
+    }
+
+    /// Memory grows monotonically with depth for non-trivial scenes.
+    #[test]
+    fn memory_monotone_in_depth(obstacles in prop::collection::vec(arb_obb(), 2..6)) {
+        let m4 = Octree::build(&obstacles, Vec3::ZERO, 256.0, 4).memory_words();
+        let m6 = Octree::build(&obstacles, Vec3::ZERO, 256.0, 6).memory_words();
+        let m8 = Octree::build(&obstacles, Vec3::ZERO, 256.0, 8).memory_words();
+        prop_assert!(m6 >= m4);
+        prop_assert!(m8 >= m6);
+    }
+}

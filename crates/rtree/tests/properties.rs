@@ -1,0 +1,93 @@
+//! Property-based tests for the obstacle R-tree.
+
+use moped_geometry::{Mat3, Obb, OpCount, Vec3};
+use moped_rtree::{FilterStats, RTree};
+use proptest::prelude::*;
+
+fn arb_obb() -> impl Strategy<Value = Obb> {
+    (
+        (-60.0..60.0f64, -60.0..60.0f64, -60.0..60.0f64),
+        (0.5..8.0f64, 0.5..8.0f64, 0.5..8.0f64),
+        -3.1..3.1f64,
+        -1.5..1.5f64,
+        -3.1..3.1f64,
+    )
+        .prop_map(|((x, y, z), (hx, hy, hz), yaw, pitch, roll)| {
+            Obb::new(
+                Vec3::new(x, y, z),
+                Vec3::new(hx, hy, hz),
+                Mat3::from_euler(yaw, pitch, roll),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hierarchical filter returns exactly the same candidate set as
+    /// the exhaustive per-obstacle AABB scan, for any obstacle field,
+    /// fanout, and probe.
+    #[test]
+    fn filter_equals_linear_scan(
+        obstacles in prop::collection::vec(arb_obb(), 1..40),
+        probe in arb_obb(),
+        fanout in 2usize..9,
+    ) {
+        let tree = RTree::build(&obstacles, fanout);
+        let mut ops = OpCount::default();
+        let mut a = tree.filter(&probe, &mut ops);
+        let mut b = tree.filter_linear(&probe, &mut ops);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The filter result is a superset of truly colliding obstacles: no
+    /// exact OBB collision is ever missed by the first stage.
+    #[test]
+    fn filter_never_misses_a_collision(
+        obstacles in prop::collection::vec(arb_obb(), 1..30),
+        probe in arb_obb(),
+    ) {
+        let tree = RTree::build(&obstacles, 4);
+        let mut ops = OpCount::default();
+        let candidates = tree.filter(&probe, &mut ops);
+        for (i, obs) in obstacles.iter().enumerate() {
+            if obs.intersects(&probe) {
+                prop_assert!(
+                    candidates.contains(&i),
+                    "obstacle {i} collides but was filtered out"
+                );
+            }
+        }
+    }
+
+    /// Filter statistics are internally consistent: survivors equal the
+    /// returned candidate count, and checks bound pruning.
+    #[test]
+    fn filter_stats_consistent(
+        obstacles in prop::collection::vec(arb_obb(), 1..40),
+        probe in arb_obb(),
+    ) {
+        let tree = RTree::build(&obstacles, 4);
+        let mut ops = OpCount::default();
+        let mut stats = FilterStats::default();
+        let out = tree.filter_with_stats(&probe, &mut ops, &mut stats);
+        prop_assert_eq!(stats.survivors as usize, out.len());
+        prop_assert!(stats.pruned_subtrees <= stats.node_checks);
+        prop_assert!(stats.leaf_checks as usize <= obstacles.len());
+    }
+
+    /// Build is total and bounded: node count is linear in obstacles and
+    /// height logarithmic.
+    #[test]
+    fn build_shape_is_sane(obstacles in prop::collection::vec(arb_obb(), 1..120), fanout in 2usize..9) {
+        let tree = RTree::build(&obstacles, fanout);
+        prop_assert_eq!(tree.len(), obstacles.len());
+        prop_assert!(tree.node_count() <= 4 * obstacles.len() + 4);
+        let max_height =
+            (obstacles.len() as f64).log(fanout as f64).ceil() as usize + 3;
+        prop_assert!(tree.height() <= max_height,
+            "height {} too large for {} obstacles fanout {fanout}", tree.height(), obstacles.len());
+    }
+}

@@ -1,0 +1,973 @@
+//! SI-MBR-Tree: the steering-informed minimal-bounding-rectangle tree.
+//!
+//! This is MOPED's data structure for neighbor search over the RRT\*
+//! exploration tree (§III-B/§III-C). Leaf entries are exploration-tree
+//! configurations; every non-leaf node stores the minimum bounding
+//! rectangle (MBR) of its descendants. Three capabilities distinguish it
+//! from a stock R-tree:
+//!
+//! 1. **MINDIST branch-and-bound nearest search** — children are visited
+//!    in ascending MINDIST order and a subtree is skipped the moment its
+//!    MINDIST exceeds the best distance found so far, since MINDIST lower
+//!    bounds the distance to *every* leaf in the subtree.
+//! 2. **Steering-informed approximated neighborhoods (SIAS)** — because
+//!    `x_new` is steered a short step from `x_nearest`, the leaf group
+//!    (siblings) of `x_nearest` approximates the `near()` set of `x_new`,
+//!    eliminating the second neighbor search of each RRT\* round.
+//! 3. **Low-cost O(1) insertion (LCI)** — `x_new` is inserted directly as
+//!    a sibling of `x_nearest`, skipping the conventional root-to-leaf
+//!    min-area-enlargement descent.
+//!
+//! Both the conventional insertion (for the V2/V3 ablations) and LCI (V4)
+//! are implemented; every kernel charges an [`OpCount`] ledger.
+//!
+//! # Example
+//!
+//! ```
+//! use moped_geometry::{Config, OpCount};
+//! use moped_simbr::SiMbrTree;
+//!
+//! let mut tree = SiMbrTree::new(2, 4);
+//! let mut ops = OpCount::default();
+//! for (i, xy) in [[0.0, 0.0], [5.0, 5.0], [1.0, 0.5]].iter().enumerate() {
+//!     tree.insert_conventional(i as u64, Config::new(xy), &mut ops);
+//! }
+//! let (id, d) = tree.nearest(&Config::new(&[0.9, 0.4]), &mut ops).unwrap();
+//! assert_eq!(id, 2);
+//! assert!(d < 0.2);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+
+use moped_geometry::{Config, OpCount, Rect};
+
+/// Per-search traversal statistics, consumed by the hardware cache model
+/// (top-of-tree visits become Top NS Cache hits) and the evaluation
+/// figures.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes whose children were examined.
+    pub nodes_visited: u64,
+    /// Subtrees skipped by the MINDIST bound.
+    pub subtrees_skipped: u64,
+    /// Leaf-entry exact distance computations.
+    pub distance_calcs: u64,
+    /// Node visits bucketed by depth (index 0 = root).
+    pub visits_by_depth: Vec<u64>,
+    /// Ordered node-id access trace of the search (filled only by
+    /// [`SiMbrTree::nearest_traced`]; the hardware cache simulator
+    /// replays it).
+    pub access_trace: Vec<usize>,
+}
+
+impl SearchStats {
+    fn bump_depth(&mut self, depth: usize) {
+        if self.visits_by_depth.len() <= depth {
+            self.visits_by_depth.resize(depth + 1, 0);
+        }
+        self.visits_by_depth[depth] += 1;
+        self.nodes_visited += 1;
+    }
+
+    /// Merges another search's statistics into this one (traces append).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.subtrees_skipped += other.subtrees_skipped;
+        self.distance_calcs += other.distance_calcs;
+        for (i, v) in other.visits_by_depth.iter().enumerate() {
+            if self.visits_by_depth.len() <= i {
+                self.visits_by_depth.resize(i + 1, 0);
+            }
+            self.visits_by_depth[i] += v;
+        }
+        self.access_trace.extend_from_slice(&other.access_trace);
+    }
+}
+
+/// A leaf entry: one exploration-tree node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry {
+    /// Caller-assigned identifier (the EXP-tree node id).
+    pub id: u64,
+    /// The configuration this entry indexes.
+    pub point: Config,
+}
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Inner(Vec<usize>),
+    Leaf(Vec<Entry>),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    parent: Option<usize>,
+    rect: Rect,
+    kind: NodeKind,
+}
+
+/// The steering-informed MBR tree. See the crate-level docs.
+#[derive(Clone, Debug)]
+pub struct SiMbrTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    entry_leaf: HashMap<u64, usize>,
+    dim: usize,
+    max_entries: usize,
+    len: usize,
+}
+
+impl SiMbrTree {
+    /// Creates an empty tree for `dim`-dimensional configurations with at
+    /// most `max_entries` entries (or children) per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries < 2` or `dim` is outside
+    /// `1..=moped_geometry::MAX_DOF`.
+    pub fn new(dim: usize, max_entries: usize) -> Self {
+        assert!(
+            (2..=32).contains(&max_entries),
+            "node capacity must be in 2..=32 (hardware node records are small)"
+        );
+        assert!(
+            (1..=moped_geometry::MAX_DOF).contains(&dim),
+            "unsupported dimension {dim}"
+        );
+        SiMbrTree {
+            nodes: Vec::new(),
+            root: None,
+            entry_leaf: HashMap::new(),
+            dim,
+            max_entries,
+            len: 0,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Configuration-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Tree height (0 when empty, 1 when the root is a leaf).
+    pub fn height(&self) -> usize {
+        let Some(mut n) = self.root else { return 0 };
+        let mut h = 1;
+        while let NodeKind::Inner(kids) = &self.nodes[n].kind {
+            n = kids[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Total allocated node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// On-chip footprint in 16-bit words: each node MBR is `2d` words plus
+    /// one pointer word per child/entry; each entry point is `d` words.
+    pub fn memory_words(&self) -> u64 {
+        let mut words = 0u64;
+        for node in &self.nodes {
+            words += 2 * self.dim as u64;
+            words += match &node.kind {
+                NodeKind::Inner(k) => k.len() as u64,
+                NodeKind::Leaf(l) => l.len() as u64 * (1 + self.dim as u64),
+            };
+        }
+        words
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Conventional R-tree insertion: descends from the root, picking at
+    /// each level the child whose MBR needs the *minimum area enlargement*
+    /// to absorb `point` (ties broken by smaller area). This is what the
+    /// V2/V3 ablations pay for every sample (Fig 9, left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.dim()` differs from the tree dimension or `id` is
+    /// already present.
+    pub fn insert_conventional(&mut self, id: u64, point: Config, ops: &mut OpCount) {
+        self.check_insert(id, &point);
+        let Some(root) = self.root else {
+            self.create_root(id, point);
+            return;
+        };
+        let mut node = root;
+        loop {
+            match &self.nodes[node].kind {
+                NodeKind::Leaf(_) => break,
+                NodeKind::Inner(kids) => {
+                    // Min-area-enlargement choice, the costly part the
+                    // paper's LCI removes.
+                    let mut best = kids[0];
+                    let mut best_enl = f64::INFINITY;
+                    let mut best_area = f64::INFINITY;
+                    for &k in kids {
+                        let enl = self.nodes[k].rect.enlargement_counted(&point, ops);
+                        let area = self.nodes[k].rect.measure();
+                        ops.cmp += 1;
+                        if enl < best_enl || (enl == best_enl && area < best_area) {
+                            best = k;
+                            best_enl = enl;
+                            best_area = area;
+                        }
+                    }
+                    // Reading each child MBR costs 2d words.
+                    ops.mem_words += kids.len() as u64 * 2 * self.dim as u64;
+                    node = best;
+                }
+            }
+        }
+        self.push_entry(node, Entry { id, point }, ops);
+    }
+
+    /// Steering-informed low-cost insertion (LCI, §III-C): places `point`
+    /// directly as a sibling of the existing entry `near_id` — the
+    /// `x_nearest` that `point` was steered from — with no descent and no
+    /// enlargement arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `near_id` is not in the tree, `id` is already present,
+    /// or dimensions mismatch.
+    pub fn insert_near(&mut self, id: u64, point: Config, near_id: u64, ops: &mut OpCount) {
+        self.check_insert(id, &point);
+        let leaf = *self
+            .entry_leaf
+            .get(&near_id)
+            .unwrap_or_else(|| panic!("near_id {near_id} not present in SI-MBR-Tree"));
+        self.push_entry(leaf, Entry { id, point }, ops);
+    }
+
+    fn check_insert(&self, id: u64, point: &Config) {
+        assert_eq!(point.dim(), self.dim, "dimension mismatch");
+        assert!(
+            !self.entry_leaf.contains_key(&id),
+            "duplicate SI-MBR-Tree entry id {id}"
+        );
+    }
+
+    fn create_root(&mut self, id: u64, point: Config) {
+        self.nodes.push(Node {
+            parent: None,
+            rect: Rect::from_point(&point),
+            kind: NodeKind::Leaf(vec![Entry { id, point }]),
+        });
+        self.root = Some(self.nodes.len() - 1);
+        self.entry_leaf.insert(id, self.nodes.len() - 1);
+        self.len = 1;
+    }
+
+    fn push_entry(&mut self, leaf: usize, entry: Entry, ops: &mut OpCount) {
+        debug_assert!(matches!(self.nodes[leaf].kind, NodeKind::Leaf(_)));
+        let id = entry.id;
+        let point = entry.point;
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf].kind {
+            entries.push(entry);
+        }
+        self.entry_leaf.insert(id, leaf);
+        self.len += 1;
+        // Extend ancestor MBRs; per level this is 2d min/max compares and
+        // a 2d-word write-back.
+        let mut n = Some(leaf);
+        while let Some(ni) = n {
+            self.nodes[ni].rect = self.nodes[ni].rect.union_point(&point);
+            ops.cmp += 2 * self.dim as u64;
+            ops.mem_words += 2 * self.dim as u64;
+            n = self.nodes[ni].parent;
+        }
+        self.maybe_split(leaf, ops);
+    }
+
+    // ------------------------------------------------------------------
+    // Splitting (Guttman quadratic split)
+    // ------------------------------------------------------------------
+
+    fn maybe_split(&mut self, mut node: usize, ops: &mut OpCount) {
+        loop {
+            let over = match &self.nodes[node].kind {
+                NodeKind::Leaf(e) => e.len() > self.max_entries,
+                NodeKind::Inner(k) => k.len() > self.max_entries,
+            };
+            if !over {
+                return;
+            }
+            let parent = self.split_node(node, ops);
+            node = parent;
+        }
+    }
+
+    /// Splits `node` in two; returns the parent that gained a child (and
+    /// may itself now be overfull).
+    fn split_node(&mut self, node: usize, ops: &mut OpCount) -> usize {
+        let new_node = match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => {
+                let rects: Vec<Rect> =
+                    entries.iter().map(|e| Rect::from_point(&e.point)).collect();
+                let (ga, gb) = quadratic_split(&rects, ops);
+                let entries = entries.clone();
+                let keep: Vec<Entry> = ga.iter().map(|&i| entries[i]).collect();
+                let moved: Vec<Entry> = gb.iter().map(|&i| entries[i]).collect();
+                let keep_rect = points_rect(&keep);
+                let moved_rect = points_rect(&moved);
+                self.nodes[node].kind = NodeKind::Leaf(keep);
+                self.nodes[node].rect = keep_rect;
+                self.nodes.push(Node {
+                    parent: self.nodes[node].parent,
+                    rect: moved_rect,
+                    kind: NodeKind::Leaf(moved.clone()),
+                });
+                let new_id = self.nodes.len() - 1;
+                for e in &moved {
+                    self.entry_leaf.insert(e.id, new_id);
+                }
+                new_id
+            }
+            NodeKind::Inner(kids) => {
+                let rects: Vec<Rect> = kids.iter().map(|&k| self.nodes[k].rect).collect();
+                let (ga, gb) = quadratic_split(&rects, ops);
+                let kids = kids.clone();
+                let keep: Vec<usize> = ga.iter().map(|&i| kids[i]).collect();
+                let moved: Vec<usize> = gb.iter().map(|&i| kids[i]).collect();
+                let keep_rect = self.kids_rect(&keep);
+                let moved_rect = self.kids_rect(&moved);
+                self.nodes[node].kind = NodeKind::Inner(keep);
+                self.nodes[node].rect = keep_rect;
+                self.nodes.push(Node {
+                    parent: self.nodes[node].parent,
+                    rect: moved_rect,
+                    kind: NodeKind::Inner(moved.clone()),
+                });
+                let new_id = self.nodes.len() - 1;
+                for k in moved {
+                    self.nodes[k].parent = Some(new_id);
+                }
+                new_id
+            }
+        };
+
+        match self.nodes[node].parent {
+            Some(p) => {
+                if let NodeKind::Inner(kids) = &mut self.nodes[p].kind {
+                    kids.push(new_node);
+                } else {
+                    unreachable!("parent of a split node must be inner");
+                }
+                p
+            }
+            None => {
+                // Grow a new root.
+                let rect = self.nodes[node].rect.union(&self.nodes[new_node].rect);
+                self.nodes.push(Node {
+                    parent: None,
+                    rect,
+                    kind: NodeKind::Inner(vec![node, new_node]),
+                });
+                let root = self.nodes.len() - 1;
+                self.nodes[node].parent = Some(root);
+                self.nodes[new_node].parent = Some(root);
+                self.root = Some(root);
+                root
+            }
+        }
+    }
+
+    fn kids_rect(&self, kids: &[usize]) -> Rect {
+        kids.iter()
+            .map(|&k| self.nodes[k].rect)
+            .reduce(|a, b| a.union(&b))
+            .expect("split groups are non-empty")
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Exact nearest neighbor of `query`: returns `(entry id, distance)`.
+    ///
+    /// Children are explored in ascending-MINDIST order; a child (and its
+    /// whole subtree) is skipped when its MINDIST can no longer beat the
+    /// current best — the §III-B pruning rule. Returns `None` on an empty
+    /// tree. See [`SiMbrTree::nearest_with_stats`] for traversal detail.
+    pub fn nearest(&self, query: &Config, ops: &mut OpCount) -> Option<(u64, f64)> {
+        let mut stats = SearchStats::default();
+        self.nearest_with_stats(query, ops, &mut stats)
+    }
+
+    /// Exact nearest neighbor with traversal statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim()` differs from the tree dimension.
+    pub fn nearest_with_stats(
+        &self,
+        query: &Config,
+        ops: &mut OpCount,
+        stats: &mut SearchStats,
+    ) -> Option<(u64, f64)> {
+        assert_eq!(query.dim(), self.dim, "dimension mismatch");
+        let root = self.root?;
+        let mut best: Option<u64> = None;
+        let mut best_d2 = f64::INFINITY;
+        self.nearest_rec(root, 0, query, &mut best, &mut best_d2, ops, stats);
+        best.map(|id| (id, best_d2.sqrt()))
+    }
+
+    /// Exact nearest neighbor that additionally records the ordered node
+    /// access trace into `stats.access_trace` — the input the hardware
+    /// cache simulator replays against the Top NS Cache model.
+    pub fn nearest_traced(
+        &self,
+        query: &Config,
+        ops: &mut OpCount,
+        stats: &mut SearchStats,
+    ) -> Option<(u64, f64)> {
+        assert_eq!(query.dim(), self.dim, "dimension mismatch");
+        let root = self.root?;
+        let mut best: Option<u64> = None;
+        let mut best_d2 = f64::INFINITY;
+        self.nearest_rec_traced(root, 0, query, &mut best, &mut best_d2, ops, stats);
+        best.map(|id| (id, best_d2.sqrt()))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nearest_rec_traced(
+        &self,
+        node: usize,
+        depth: usize,
+        query: &Config,
+        best: &mut Option<u64>,
+        best_d2: &mut f64,
+        ops: &mut OpCount,
+        stats: &mut SearchStats,
+    ) {
+        stats.access_trace.push(node);
+        stats.bump_depth(depth);
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => {
+                for e in entries {
+                    ops.mem_words += self.dim as u64;
+                    let d2 = e.point.distance_sq_counted(query, ops);
+                    stats.distance_calcs += 1;
+                    ops.cmp += 1;
+                    if d2 < *best_d2 {
+                        *best_d2 = d2;
+                        *best = Some(e.id);
+                    }
+                }
+            }
+            NodeKind::Inner(kids) => {
+                let mut order: Vec<(f64, usize)> = kids
+                    .iter()
+                    .map(|&k| {
+                        ops.mem_words += 2 * self.dim as u64;
+                        (self.nodes[k].rect.mindist_sq(query, ops), k)
+                    })
+                    .collect();
+                order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite MINDIST"));
+                for (i, (md, k)) in order.iter().enumerate() {
+                    ops.cmp += 1;
+                    if *md >= *best_d2 {
+                        stats.subtrees_skipped += (order.len() - i) as u64;
+                        break;
+                    }
+                    self.nearest_rec_traced(*k, depth + 1, query, best, best_d2, ops, stats);
+                }
+            }
+        }
+    }
+
+    /// The depth (root = 0) of node `id` in the current structure, used
+    /// by the cache model to classify trace entries. Returns `None` for
+    /// an unknown node id.
+    pub fn node_depth(&self, id: usize) -> Option<usize> {
+        if id >= self.nodes.len() {
+            return None;
+        }
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            cur = p;
+            d += 1;
+        }
+        Some(d)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nearest_rec(
+        &self,
+        node: usize,
+        depth: usize,
+        query: &Config,
+        best: &mut Option<u64>,
+        best_d2: &mut f64,
+        ops: &mut OpCount,
+        stats: &mut SearchStats,
+    ) {
+        stats.bump_depth(depth);
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => {
+                for e in entries {
+                    ops.mem_words += self.dim as u64;
+                    let d2 = e.point.distance_sq_counted(query, ops);
+                    stats.distance_calcs += 1;
+                    ops.cmp += 1;
+                    if d2 < *best_d2 {
+                        *best_d2 = d2;
+                        *best = Some(e.id);
+                    }
+                }
+            }
+            NodeKind::Inner(kids) => {
+                // MINDIST each child, sort ascending, explore until the
+                // bound disqualifies the remainder. The order buffer lives
+                // on the stack (node fanout is small by construction) so
+                // the search hot loop never allocates.
+                const MAX_FANOUT: usize = 64;
+                debug_assert!(kids.len() <= MAX_FANOUT, "node fanout exceeds stack buffer");
+                let mut order = [(0.0f64, 0usize); MAX_FANOUT];
+                let n = kids.len().min(MAX_FANOUT);
+                for (slot, &k) in order.iter_mut().zip(kids.iter()) {
+                    ops.mem_words += 2 * self.dim as u64;
+                    *slot = (self.nodes[k].rect.mindist_sq(query, ops), k);
+                }
+                order[..n].sort_unstable_by(|a, b| {
+                    a.0.partial_cmp(&b.0).expect("finite MINDIST")
+                });
+                ops.cmp += (n.saturating_sub(1)) as u64;
+                for (i, (md, k)) in order[..n].iter().enumerate() {
+                    ops.cmp += 1;
+                    if *md >= *best_d2 {
+                        stats.subtrees_skipped += (n - i) as u64;
+                        break;
+                    }
+                    self.nearest_rec(*k, depth + 1, query, best, best_d2, ops, stats);
+                }
+            }
+        }
+    }
+
+    /// Exact range search: all entries within `radius` of `query`,
+    /// unsorted. Subtrees are pruned by `MINDIST > radius`. This is the
+    /// *second* neighbor search of a stock RRT\* round, which SIAS
+    /// replaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `radius` is negative.
+    pub fn near(&self, query: &Config, radius: f64, ops: &mut OpCount) -> Vec<Entry> {
+        assert_eq!(query.dim(), self.dim, "dimension mismatch");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let r2 = radius * radius;
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            ops.mem_words += 2 * self.dim as u64;
+            if self.nodes[n].rect.mindist_sq(query, ops) > r2 {
+                continue;
+            }
+            match &self.nodes[n].kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        ops.mem_words += self.dim as u64;
+                        let d2 = e.point.distance_sq_counted(query, ops);
+                        ops.cmp += 1;
+                        if d2 <= r2 {
+                            out.push(*e);
+                        }
+                    }
+                }
+                NodeKind::Inner(kids) => stack.extend_from_slice(kids),
+            }
+        }
+        out
+    }
+
+    /// Steering-informed approximated neighborhood (SIAS, §III-B): the
+    /// leaf group of `entry_id` — every entry sharing its parent node.
+    /// The building procedure groups geometrically nearby configurations
+    /// under the same parent, and steering keeps `x_new` close to
+    /// `x_nearest`, so this set approximates `near(x_new, ·)` **at zero
+    /// search cost** (only the leaf read is charged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_id` is not present.
+    pub fn leaf_group(&self, entry_id: u64, ops: &mut OpCount) -> Vec<Entry> {
+        let leaf = *self
+            .entry_leaf
+            .get(&entry_id)
+            .unwrap_or_else(|| panic!("entry {entry_id} not present in SI-MBR-Tree"));
+        match &self.nodes[leaf].kind {
+            NodeKind::Leaf(entries) => {
+                ops.mem_words += entries.len() as u64 * (1 + self.dim as u64);
+                entries.clone()
+            }
+            NodeKind::Inner(_) => unreachable!("entry_leaf always maps to leaves"),
+        }
+    }
+
+    /// Linear-scan nearest neighbor over all entries — the reference the
+    /// property tests compare against, and the "no index" baseline of the
+    /// evaluation.
+    pub fn nearest_linear(&self, query: &Config, ops: &mut OpCount) -> Option<(u64, f64)> {
+        let mut best = None;
+        let mut best_d2 = f64::INFINITY;
+        for node in &self.nodes {
+            if let NodeKind::Leaf(entries) = &node.kind {
+                for e in entries {
+                    let d2 = e.point.distance_sq_counted(query, ops);
+                    ops.cmp += 1;
+                    if d2 < best_d2 {
+                        best_d2 = d2;
+                        best = Some(e.id);
+                    }
+                }
+            }
+        }
+        best.map(|id| (id, best_d2.sqrt()))
+    }
+
+    /// Iterates over all entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> + '_ {
+        self.nodes.iter().flat_map(|n| match &n.kind {
+            NodeKind::Leaf(e) => e.as_slice(),
+            NodeKind::Inner(_) => &[],
+        })
+    }
+
+    /// Verifies structural invariants (MBR containment, parent links,
+    /// entry-map consistency); used by tests and debug assertions.
+    ///
+    /// Returns a human-readable violation description, or `None` if sound.
+    pub fn check_invariants(&self) -> Option<String> {
+        let Some(root) = self.root else {
+            return (self.len != 0).then(|| "empty tree with nonzero len".into());
+        };
+        if self.nodes[root].parent.is_some() {
+            return Some("root has a parent".into());
+        }
+        let mut seen_entries = 0usize;
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        seen_entries += 1;
+                        if !node.rect.contains_point(&e.point) {
+                            return Some(format!("leaf rect of node {n} misses entry {}", e.id));
+                        }
+                        if self.entry_leaf.get(&e.id) != Some(&n) {
+                            return Some(format!("entry map stale for {}", e.id));
+                        }
+                    }
+                }
+                NodeKind::Inner(kids) => {
+                    if kids.is_empty() {
+                        return Some(format!("inner node {n} has no children"));
+                    }
+                    for &k in kids {
+                        if self.nodes[k].parent != Some(n) {
+                            return Some(format!("parent link broken at {k}"));
+                        }
+                        if !node.rect.contains_rect(&self.nodes[k].rect) {
+                            return Some(format!("MBR of {n} misses child {k}"));
+                        }
+                        stack.push(k);
+                    }
+                }
+            }
+        }
+        if seen_entries != self.len {
+            return Some(format!("len {} but {seen_entries} reachable entries", self.len));
+        }
+        None
+    }
+}
+
+fn points_rect(entries: &[Entry]) -> Rect {
+    entries
+        .iter()
+        .map(|e| Rect::from_point(&e.point))
+        .reduce(|a, b| a.union(&b))
+        .expect("split groups are non-empty")
+}
+
+/// Guttman quadratic split: partitions `rects` indices into two groups.
+///
+/// Seeds are the pair wasting the most dead area if grouped; remaining
+/// rects go to the group whose MBR grows least.
+#[allow(clippy::needless_range_loop)]
+fn quadratic_split(rects: &[Rect], ops: &mut OpCount) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+    // Pick seeds.
+    let (mut sa, mut sb) = (0, 1);
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste =
+                rects[i].union(&rects[j]).measure() - rects[i].measure() - rects[j].measure();
+            ops.add += 2;
+            ops.cmp += 1;
+            if waste > worst {
+                worst = waste;
+                sa = i;
+                sb = j;
+            }
+        }
+    }
+    let mut ga = vec![sa];
+    let mut gb = vec![sb];
+    let mut ra = rects[sa];
+    let mut rb = rects[sb];
+    for i in 0..n {
+        if i == sa || i == sb {
+            continue;
+        }
+        let ea = ra.union(&rects[i]).measure() - ra.measure();
+        let eb = rb.union(&rects[i]).measure() - rb.measure();
+        ops.add += 2;
+        ops.cmp += 1;
+        if ea < eb || (ea == eb && ga.len() <= gb.len()) {
+            ga.push(i);
+            ra = ra.union(&rects[i]);
+        } else {
+            gb.push(i);
+            rb = rb.union(&rects[i]);
+        }
+    }
+    (ga, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c2(x: f64, y: f64) -> Config {
+        Config::new(&[x, y])
+    }
+
+    fn build_grid(n: usize, insertion: &str) -> (SiMbrTree, Vec<Config>) {
+        let mut tree = SiMbrTree::new(2, 4);
+        let mut ops = OpCount::default();
+        let mut pts = Vec::new();
+        for i in 0..n {
+            let p = c2((i % 10) as f64, (i / 10) as f64);
+            pts.push(p);
+            match insertion {
+                "conv" => tree.insert_conventional(i as u64, p, &mut ops),
+                "lci" => {
+                    if i == 0 {
+                        tree.insert_conventional(0, p, &mut ops);
+                    } else {
+                        // steer-like: insert near the previous point
+                        tree.insert_near(i as u64, p, i as u64 - 1, &mut ops);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        (tree, pts)
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let tree = SiMbrTree::new(3, 4);
+        let mut ops = OpCount::default();
+        assert!(tree.is_empty());
+        assert_eq!(tree.nearest(&Config::zeros(3), &mut ops), None);
+        assert!(tree.near(&Config::zeros(3), 1.0, &mut ops).is_empty());
+        assert_eq!(tree.height(), 0);
+        assert!(tree.check_invariants().is_none());
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan_conventional() {
+        let (tree, _) = build_grid(60, "conv");
+        let mut ops = OpCount::default();
+        for q in [c2(3.3, 2.7), c2(-1.0, -1.0), c2(9.5, 5.5), c2(100.0, 100.0)] {
+            let a = tree.nearest(&q, &mut ops).unwrap();
+            let b = tree.nearest_linear(&q, &mut ops).unwrap();
+            assert_eq!(a.0, b.0, "query {q:?}");
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan_lci() {
+        let (tree, _) = build_grid(60, "lci");
+        assert!(tree.check_invariants().is_none(), "{:?}", tree.check_invariants());
+        let mut ops = OpCount::default();
+        for q in [c2(3.3, 2.7), c2(0.0, 5.9), c2(9.5, 5.5)] {
+            let a = tree.nearest(&q, &mut ops).unwrap();
+            let b = tree.nearest_linear(&q, &mut ops).unwrap();
+            assert!((a.1 - b.1).abs() < 1e-12, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_saves_distance_calcs() {
+        let (tree, _) = build_grid(100, "conv");
+        let mut ops = OpCount::default();
+        let mut stats = SearchStats::default();
+        let _ = tree.nearest_with_stats(&c2(2.2, 2.2), &mut ops, &mut stats);
+        assert!(
+            stats.distance_calcs < 100,
+            "branch-and-bound should not touch all {} leaves: {stats:?}",
+            tree.len()
+        );
+        assert!(stats.subtrees_skipped > 0);
+    }
+
+    #[test]
+    fn near_returns_exactly_the_in_radius_set() {
+        let (tree, pts) = build_grid(80, "conv");
+        let mut ops = OpCount::default();
+        let q = c2(4.5, 3.5);
+        let r = 2.0;
+        let mut got: Vec<u64> = tree.near(&q, r, &mut ops).iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(&q) <= r)
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn leaf_group_contains_the_anchor() {
+        let (tree, _) = build_grid(50, "conv");
+        let mut ops = OpCount::default();
+        for id in [0u64, 13, 49] {
+            let group = tree.leaf_group(id, &mut ops);
+            assert!(group.iter().any(|e| e.id == id));
+            assert!(group.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn lci_insertion_is_cheaper_than_conventional() {
+        let mut conv_ops = OpCount::default();
+        let mut lci_ops = OpCount::default();
+        let mut conv = SiMbrTree::new(2, 4);
+        let mut lci = SiMbrTree::new(2, 4);
+        conv.insert_conventional(0, c2(0.0, 0.0), &mut conv_ops);
+        lci.insert_conventional(0, c2(0.0, 0.0), &mut lci_ops);
+        let warmup = (conv_ops, lci_ops);
+        for i in 1..200u64 {
+            let p = c2((i % 14) as f64 + 0.1, (i / 14) as f64);
+            conv.insert_conventional(i, p, &mut conv_ops);
+            lci.insert_near(i, p, i - 1, &mut lci_ops);
+        }
+        let conv_cost = (conv_ops - warmup.0).mac_equiv();
+        let lci_cost = (lci_ops - warmup.1).mac_equiv();
+        assert!(
+            lci_cost < conv_cost,
+            "LCI should be cheaper: {lci_cost} vs {conv_cost}"
+        );
+    }
+
+    #[test]
+    fn invariants_hold_after_many_splits() {
+        let (tree, _) = build_grid(300, "conv");
+        assert!(tree.check_invariants().is_none(), "{:?}", tree.check_invariants());
+        assert!(tree.height() >= 3);
+        let (tree, _) = build_grid(300, "lci");
+        assert!(tree.check_invariants().is_none(), "{:?}", tree.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_id_rejected() {
+        let mut tree = SiMbrTree::new(2, 4);
+        let mut ops = OpCount::default();
+        tree.insert_conventional(7, c2(0.0, 0.0), &mut ops);
+        tree.insert_conventional(7, c2(1.0, 1.0), &mut ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn insert_near_missing_anchor_rejected() {
+        let mut tree = SiMbrTree::new(2, 4);
+        let mut ops = OpCount::default();
+        tree.insert_conventional(0, c2(0.0, 0.0), &mut ops);
+        tree.insert_near(1, c2(0.1, 0.0), 42, &mut ops);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let (tree, _) = build_grid(37, "conv");
+        let mut ids: Vec<u64> = tree.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..37u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_depth_buckets_cover_height() {
+        let (tree, _) = build_grid(150, "conv");
+        let mut ops = OpCount::default();
+        let mut stats = SearchStats::default();
+        let _ = tree.nearest_with_stats(&c2(5.0, 5.0), &mut ops, &mut stats);
+        assert_eq!(stats.visits_by_depth[0], 1, "root visited once");
+        assert!(stats.visits_by_depth.len() <= tree.height());
+    }
+
+    #[test]
+    fn memory_words_grow_with_entries() {
+        let (t1, _) = build_grid(10, "conv");
+        let (t2, _) = build_grid(100, "conv");
+        assert!(t2.memory_words() > t1.memory_words());
+    }
+
+    #[test]
+    fn high_dim_nearest_works() {
+        let mut tree = SiMbrTree::new(7, 6);
+        let mut ops = OpCount::default();
+        for i in 0..50u64 {
+            let coords: Vec<f64> = (0..7).map(|d| ((i * 7 + d) % 13) as f64).collect();
+            tree.insert_conventional(i, Config::new(&coords), &mut ops);
+        }
+        let q = Config::new(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.0]);
+        let fast = tree.nearest(&q, &mut ops).unwrap();
+        let slow = tree.nearest_linear(&q, &mut ops).unwrap();
+        assert!((fast.1 - slow.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_stats_absorb_accumulates() {
+        let mut a = SearchStats::default();
+        a.bump_depth(0);
+        a.bump_depth(1);
+        let mut b = SearchStats::default();
+        b.bump_depth(1);
+        b.distance_calcs = 5;
+        a.absorb(&b);
+        assert_eq!(a.nodes_visited, 3);
+        assert_eq!(a.visits_by_depth, vec![1, 2]);
+        assert_eq!(a.distance_calcs, 5);
+    }
+}

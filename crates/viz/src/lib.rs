@@ -1,0 +1,240 @@
+//! SVG visualization of planar planning scenes.
+//!
+//! Renders 2D-mobile-robot scenarios — obstacles, start/goal poses,
+//! exploration trees, and solution paths — as standalone SVG documents,
+//! with no dependencies beyond `std`. Useful for eyeballing planner
+//! behaviour (narrow-passage threading, rewiring quality) and for
+//! generating figures from the examples.
+//!
+//! # Example
+//!
+//! ```
+//! use moped_env::{Scenario, ScenarioParams};
+//! use moped_robot::Robot;
+//! use moped_viz::SceneSvg;
+//!
+//! let s = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 1);
+//! let svg = SceneSvg::new(&s).render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.ends_with("</svg>\n"));
+//! ```
+
+#![deny(missing_docs)]
+
+use std::fmt::Write as _;
+
+use moped_env::Scenario;
+use moped_geometry::{Config, Obb};
+use moped_robot::WORKSPACE_EXTENT;
+
+/// Builder for an SVG rendering of a planar scenario.
+#[derive(Clone, Debug)]
+pub struct SceneSvg<'a> {
+    scenario: &'a Scenario,
+    paths: Vec<(Vec<Config>, &'static str)>,
+    tree_edges: Vec<(Config, Config)>,
+    scale: f64,
+}
+
+impl<'a> SceneSvg<'a> {
+    /// Starts a rendering of `scenario` (obstacles + start/goal only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's robot is not the planar model — only 2D
+    /// workspaces have a faithful flat projection.
+    pub fn new(scenario: &'a Scenario) -> Self {
+        assert!(
+            scenario.robot.workspace_is_2d(),
+            "SVG rendering supports the planar (2D Mobile) workspace only"
+        );
+        SceneSvg { scenario, paths: Vec::new(), tree_edges: Vec::new(), scale: 2.0 }
+    }
+
+    /// Adds a waypoint path in the given CSS color.
+    pub fn with_path(mut self, path: &[Config], color: &'static str) -> Self {
+        self.paths.push((path.to_vec(), color));
+        self
+    }
+
+    /// Adds exploration-tree edges (drawn faintly under everything else).
+    pub fn with_tree(mut self, edges: &[(Config, Config)]) -> Self {
+        self.tree_edges.extend_from_slice(edges);
+        self
+    }
+
+    /// Pixel-per-workspace-unit scale (default 2.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Produces the SVG document.
+    pub fn render(&self) -> String {
+        let px = WORKSPACE_EXTENT * self.scale;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{px:.0}" height="{px:.0}" viewBox="0 0 {px:.0} {px:.0}">"#
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect width="100%" height="100%" fill="#fcfcf8" stroke="#888"/>"##
+        );
+
+        // Tree edges first (underlay).
+        for (a, b) in &self.tree_edges {
+            let (x1, y1) = self.map(a[0], a[1]);
+            let (x2, y2) = self.map(b[0], b[1]);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#c9d4e4" stroke-width="0.6"/>"##
+            );
+        }
+
+        // Obstacles as rotated rectangles.
+        for o in &self.scenario.obstacles {
+            out.push_str(&self.obb_polygon(o, "#5b6770", 0.85));
+        }
+
+        // Paths.
+        for (path, color) in &self.paths {
+            if path.len() < 2 {
+                continue;
+            }
+            let pts: Vec<String> = path
+                .iter()
+                .map(|q| {
+                    let (x, y) = self.map(q[0], q[1]);
+                    format!("{x:.1},{y:.1}")
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2.2"/>"#,
+                pts.join(" ")
+            );
+        }
+
+        // Start / goal markers.
+        let (sx, sy) = self.map(self.scenario.start[0], self.scenario.start[1]);
+        let (gx, gy) = self.map(self.scenario.goal[0], self.scenario.goal[1]);
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{sx:.1}" cy="{sy:.1}" r="5" fill="#2d7d46"/>"##
+        );
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{gx:.1}" cy="{gy:.1}" r="5" fill="#b3261e"/>"##
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Maps workspace coordinates to SVG pixels (Y flipped so the
+    /// workspace origin sits at the bottom-left).
+    fn map(&self, x: f64, y: f64) -> (f64, f64) {
+        (x * self.scale, (WORKSPACE_EXTENT - y) * self.scale)
+    }
+
+    fn obb_polygon(&self, o: &Obb, fill: &str, opacity: f64) -> String {
+        // Corners of the planar rectangle in XY.
+        let c = o.center();
+        let h = o.half_extents();
+        let ax = o.axis(0);
+        let ay = o.axis(1);
+        let corners = [
+            (c.x + ax.x * h.x + ay.x * h.y, c.y + ax.y * h.x + ay.y * h.y),
+            (c.x + ax.x * h.x - ay.x * h.y, c.y + ax.y * h.x - ay.y * h.y),
+            (c.x - ax.x * h.x - ay.x * h.y, c.y - ax.y * h.x - ay.y * h.y),
+            (c.x - ax.x * h.x + ay.x * h.y, c.y - ax.y * h.x + ay.y * h.y),
+        ];
+        let pts: Vec<String> = corners
+            .iter()
+            .map(|&(x, y)| {
+                let (px, py) = self.map(x, y);
+                format!("{px:.1},{py:.1}")
+            })
+            .collect();
+        format!(
+            "<polygon points=\"{}\" fill=\"{fill}\" fill-opacity=\"{opacity}\"/>\n",
+            pts.join(" ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moped_env::ScenarioParams;
+    use moped_robot::Robot;
+
+    fn scene() -> Scenario {
+        Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 7)
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let s = scene();
+        let svg = SceneSvg::new(&s).render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // One polygon per obstacle plus the background rect.
+        assert_eq!(svg.matches("<polygon").count(), s.obstacles.len());
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn path_becomes_polyline() {
+        let s = scene();
+        let path = vec![s.start, s.start.lerp(&s.goal, 0.5), s.goal];
+        let svg = SceneSvg::new(&s).with_path(&path, "#1351d8").render();
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert!(svg.contains("#1351d8"));
+    }
+
+    #[test]
+    fn tree_edges_render_as_lines() {
+        let s = scene();
+        let edges = vec![(s.start, s.goal)];
+        let svg = SceneSvg::new(&s).with_tree(&edges).render();
+        assert_eq!(svg.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn scale_changes_dimensions() {
+        let s = scene();
+        let small = SceneSvg::new(&s).with_scale(1.0).render();
+        let big = SceneSvg::new(&s).with_scale(4.0).render();
+        assert!(small.contains("width=\"300\""));
+        assert!(big.contains("width=\"1200\""));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let s = scene();
+        let r = SceneSvg::new(&s);
+        let (_, y_bottom) = r.map(0.0, 0.0);
+        let (_, y_top) = r.map(0.0, WORKSPACE_EXTENT);
+        assert!(y_bottom > y_top, "workspace origin should map to the bottom");
+    }
+
+    #[test]
+    #[should_panic(expected = "planar")]
+    fn non_planar_robot_rejected() {
+        let s = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(4), 1);
+        let _ = SceneSvg::new(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let s = scene();
+        let _ = SceneSvg::new(&s).with_scale(0.0);
+    }
+}

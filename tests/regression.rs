@@ -1,0 +1,99 @@
+//! Regression guards: loose golden checks on headline behaviours.
+//!
+//! Planning is deterministic given a seed, so these assertions pin the
+//! *bands* the reproduction currently achieves. They are deliberately
+//! generous — their job is to catch silent behavioural drift (a broken
+//! pruning rule, a mis-charged ledger), not to freeze exact numbers.
+
+use moped::core::{plan_variant, PlannerParams, Variant};
+use moped::env::{Scenario, ScenarioParams};
+use moped::hw::design::DesignPoint;
+use moped::hw::engine;
+use moped::robot::Robot;
+
+fn traced(samples: usize, seed: u64) -> PlannerParams {
+    PlannerParams { max_samples: samples, seed, trace_rounds: true, ..PlannerParams::default() }
+}
+
+/// The headline algorithmic saving on the reference drone workload stays
+/// in its band.
+#[test]
+fn algorithmic_saving_band() {
+    let s = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(16), 61);
+    let p = traced(1000, 1);
+    let base = plan_variant(&s, Variant::V0Baseline, &p);
+    let moped = plan_variant(&s, Variant::V4Lci, &p);
+    let saving = base.stats.total_ops().mac_equiv() as f64
+        / moped.stats.total_ops().mac_equiv() as f64;
+    assert!(
+        (3.0..60.0).contains(&saving),
+        "drone@16obst saving drifted out of band: {saving:.1}"
+    );
+}
+
+/// The end-to-end hardware evaluation keeps every comparison in the
+/// direction and rough magnitude the paper reports.
+#[test]
+fn hardware_comparison_bands() {
+    let s = Scenario::generate(Robot::viperx_300(), &ScenarioParams::with_obstacles(16), 123);
+    let p = PlannerParams {
+        max_samples: 600,
+        seed: 5,
+        goal_tolerance: 0.8,
+        ..PlannerParams::default()
+    };
+    let rep = engine::evaluate(&s, &p, &DesignPoint::default());
+    assert!(
+        (200.0..100_000.0).contains(&rep.vs_cpu.speedup),
+        "CPU speedup band: {:.0}",
+        rep.vs_cpu.speedup
+    );
+    assert!(
+        (1.5..60.0).contains(&rep.vs_asic.speedup),
+        "ASIC speedup band: {:.1}",
+        rep.vs_asic.speedup
+    );
+    assert!(
+        (1.0..40.0).contains(&rep.vs_codacc.speedup),
+        "CODAcc speedup band: {:.1}",
+        rep.vs_codacc.speedup
+    );
+    assert!(rep.moped.latency_s < 5e-3, "latency {:.2e}s", rep.moped.latency_s);
+    assert!(
+        (1.0..=2.0).contains(&rep.pipeline.speedup()),
+        "S&R band: {:.2}",
+        rep.pipeline.speedup()
+    );
+}
+
+/// The design point's silicon numbers stay pinned to the paper's.
+#[test]
+fn design_point_band() {
+    let d = DesignPoint::default();
+    assert!((d.area_mm2() - 0.62).abs() < 0.08, "area {:.3}", d.area_mm2());
+    assert!((d.power_w() * 1e3 - 137.5).abs() < 8.0, "power {:.1}mW", d.power_w() * 1e3);
+    assert_eq!(d.macs(), 168);
+    assert!((d.sram_kb() - 198.0).abs() < 1e-9);
+}
+
+/// Baseline breakdown keeps the Fig 3 structure: kernels ≥95% of work,
+/// arms collision-dominated, mobile search-dominated.
+#[test]
+fn fig3_structure_band() {
+    let p = PlannerParams { max_samples: 800, seed: 4, ..PlannerParams::default() };
+    let mobile = plan_variant(
+        &Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(16), 8),
+        Variant::V0Baseline,
+        &p,
+    );
+    let arm = plan_variant(
+        &Scenario::generate(Robot::xarm7(), &ScenarioParams::with_obstacles(16), 8),
+        Variant::V0Baseline,
+        &p,
+    );
+    let (m_cc, m_ns, _) = mobile.stats.breakdown();
+    let (a_cc, a_ns, _) = arm.stats.breakdown();
+    assert!(m_ns > m_cc, "mobile must be search-dominated");
+    assert!(a_cc > a_ns, "xArm must be collision-dominated");
+    assert!(m_cc + m_ns > 0.95 && a_cc + a_ns > 0.95);
+}
