@@ -54,7 +54,11 @@ fn bench_satq(c: &mut Criterion) {
     g.bench_function("float64", |bch| {
         bch.iter(|| {
             let mut ops = OpCount::default();
-            black_box(moped_geometry::sat::obb_obb(black_box(&a), black_box(&b_near), &mut ops))
+            black_box(moped_geometry::sat::obb_obb(
+                black_box(&a),
+                black_box(&b_near),
+                &mut ops,
+            ))
         })
     });
     g.bench_function("fixed16", |bch| {
@@ -80,5 +84,12 @@ fn bench_cachesim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pipeline, bench_lfsr, bench_fixed, bench_satq, bench_cachesim);
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_lfsr,
+    bench_fixed,
+    bench_satq,
+    bench_cachesim
+);
 criterion_main!(benches);

@@ -8,7 +8,13 @@ use std::hint::black_box;
 
 fn bench_sat(c: &mut Criterion) {
     let a3 = Obb::from_euler(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.5), 0.3, 0.6, -0.2);
-    let b3 = Obb::from_euler(Vec3::new(1.5, 1.0, 0.2), Vec3::new(0.5, 1.5, 1.0), -0.7, 0.1, 0.9);
+    let b3 = Obb::from_euler(
+        Vec3::new(1.5, 1.0, 0.2),
+        Vec3::new(0.5, 1.5, 1.0),
+        -0.7,
+        0.1,
+        0.9,
+    );
     let aabb = Aabb::from_center_half(Vec3::ZERO, Vec3::splat(2.0));
     let a2 = Obb::planar(Vec3::ZERO, 2.0, 1.0, 0.4);
     let b2 = Obb::planar(Vec3::new(1.0, 0.5, 0.0), 1.0, 1.5, -0.3);
@@ -51,7 +57,13 @@ fn bench_mindist(c: &mut Criterion) {
 
 fn bench_rotation(c: &mut Criterion) {
     c.bench_function("euler_rotation_build", |b| {
-        b.iter(|| black_box(Mat3::from_euler(black_box(0.3), black_box(0.5), black_box(-0.2))))
+        b.iter(|| {
+            black_box(Mat3::from_euler(
+                black_box(0.3),
+                black_box(0.5),
+                black_box(-0.2),
+            ))
+        })
     });
 }
 

@@ -81,24 +81,36 @@ fn bench_nearest(c: &mut Criterion) {
             kd.insert(i as u64, *p, &mut ops);
         }
         let q = Config::new(&vec![13.7; dim]);
-        g.bench_with_input(BenchmarkId::new("simbr", format!("{n}x{dim}d")), &q, |b, q| {
-            b.iter(|| {
-                let mut ops = OpCount::default();
-                black_box(simbr.nearest(black_box(q), &mut ops))
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("kdtree", format!("{n}x{dim}d")), &q, |b, q| {
-            b.iter(|| {
-                let mut ops = OpCount::default();
-                black_box(kd.nearest(black_box(q), &mut ops))
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("linear", format!("{n}x{dim}d")), &q, |b, q| {
-            b.iter(|| {
-                let mut ops = OpCount::default();
-                black_box(simbr.nearest_linear(black_box(q), &mut ops))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("simbr", format!("{n}x{dim}d")),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let mut ops = OpCount::default();
+                    black_box(simbr.nearest(black_box(q), &mut ops))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("kdtree", format!("{n}x{dim}d")),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let mut ops = OpCount::default();
+                    black_box(kd.nearest(black_box(q), &mut ops))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("linear", format!("{n}x{dim}d")),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let mut ops = OpCount::default();
+                    black_box(simbr.nearest_linear(black_box(q), &mut ops))
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -12,7 +12,11 @@ fn bench_variants(c: &mut Criterion) {
     g.sample_size(10);
     for robot in [Robot::mobile_2d(), Robot::drone_3d(), Robot::xarm7()] {
         let s = Scenario::generate(robot.clone(), &ScenarioParams::with_obstacles(16), 7);
-        let params = PlannerParams { max_samples: 300, seed: 3, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 300,
+            seed: 3,
+            ..PlannerParams::default()
+        };
         for variant in [Variant::V0Baseline, Variant::V1Tsps, Variant::V4Lci] {
             g.bench_with_input(
                 BenchmarkId::new(format!("{variant}"), robot.name()),
@@ -30,7 +34,11 @@ fn bench_scaling(c: &mut Criterion) {
     g.sample_size(10);
     let s = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(16), 11);
     for &samples in &[200usize, 400, 800] {
-        let params = PlannerParams { max_samples: samples, seed: 5, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: samples,
+            seed: 5,
+            ..PlannerParams::default()
+        };
         g.bench_with_input(BenchmarkId::new("v4", samples), &s, |b, s| {
             b.iter(|| black_box(plan_variant(black_box(s), Variant::V4Lci, &params)))
         });

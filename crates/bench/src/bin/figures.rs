@@ -16,9 +16,7 @@
 use std::time::Instant;
 
 use moped_collision::{NaiveAabbChecker, SecondStage, TwoStageChecker};
-use moped_core::{
-    plan_variant, KdIndex, PlanResult, PlannerParams, RrtStar, SimbrIndex, Variant,
-};
+use moped_core::{plan_variant, KdIndex, PlanResult, PlannerParams, RrtStar, SimbrIndex, Variant};
 use moped_env::{Scenario, ScenarioParams, OBSTACLE_COUNTS};
 use moped_hw::design::DesignPoint;
 use moped_hw::{perf, pipeline};
@@ -33,15 +31,19 @@ struct Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = "all".to_string();
-    let mut opts = Opts { tasks: 3, samples: 800 };
+    let mut opts = Opts {
+        tasks: 3,
+        samples: 800,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--tasks" => {
-                opts.tasks = it.next().and_then(|v| v.parse().ok()).unwrap_or(opts.tasks)
-            }
+            "--tasks" => opts.tasks = it.next().and_then(|v| v.parse().ok()).unwrap_or(opts.tasks),
             "--samples" => {
-                opts.samples = it.next().and_then(|v| v.parse().ok()).unwrap_or(opts.samples)
+                opts.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.samples)
             }
             other if !other.starts_with("--") => cmd = other.to_string(),
             other => eprintln!("ignoring unknown flag {other}"),
@@ -112,7 +114,10 @@ fn task_seeds(opts: &Opts, base: u64) -> Vec<u64> {
 // ---------------------------------------------------------------------
 fn fig3(opts: &Opts) {
     println!("\n=== Fig 3: Breakdown of computational costs for RRT* (V0, 16 obstacles) ===");
-    println!("{:<12} {:>10} {:>16} {:>8}", "robot", "collision", "neighbor-search", "other");
+    println!(
+        "{:<12} {:>10} {:>16} {:>8}",
+        "robot", "collision", "neighbor-search", "other"
+    );
     for robot in Robot::all_models() {
         let seeds = task_seeds(opts, 3);
         let mut cc = 0.0;
@@ -177,10 +182,18 @@ fn fig5(opts: &Opts) {
             tilt,
             ok_obb,
             seeds.len(),
-            if ok_obb > 0 { cost_obb / ok_obb as f64 } else { f64::NAN },
+            if ok_obb > 0 {
+                cost_obb / ok_obb as f64
+            } else {
+                f64::NAN
+            },
             ok_aabb,
             seeds.len(),
-            if ok_aabb > 0 { cost_aabb / ok_aabb as f64 } else { f64::NAN },
+            if ok_aabb > 0 {
+                cost_aabb / ok_aabb as f64
+            } else {
+                f64::NAN
+            },
         );
     }
     println!("(beyond the critical tilt, AABB relaxations seal the slot: success drops)");
@@ -201,11 +214,8 @@ fn fig6(opts: &Opts) {
             let mut naive_macs = 0.0;
             let mut two_macs = 0.0;
             for &seed in &seeds {
-                let s = Scenario::generate(
-                    robot.clone(),
-                    &ScenarioParams::with_obstacles(count),
-                    seed,
-                );
+                let s =
+                    Scenario::generate(robot.clone(), &ScenarioParams::with_obstacles(count), seed);
                 let p = params(opts, seed, false);
                 let r_naive = plan_variant(&s, Variant::V0Baseline, &p);
                 let r_two = plan_variant(&s, Variant::V1Tsps, &p);
@@ -282,8 +292,14 @@ fn fig10(opts: &Opts) {
         for &seed in &seeds {
             let s = Scenario::generate(robot.clone(), &ScenarioParams::with_obstacles(16), seed);
             let p = params(opts, seed, false);
-            i3 += plan_variant(&s, Variant::V3Sias, &p).stats.insert_ops.mac_equiv() as f64;
-            i4 += plan_variant(&s, Variant::V4Lci, &p).stats.insert_ops.mac_equiv() as f64;
+            i3 += plan_variant(&s, Variant::V3Sias, &p)
+                .stats
+                .insert_ops
+                .mac_equiv() as f64;
+            i4 += plan_variant(&s, Variant::V4Lci, &p)
+                .stats
+                .insert_ops
+                .mac_equiv() as f64;
         }
         println!(
             "{:<12} {:>14.0} {:>14.0} {:>7.1}x",
@@ -313,11 +329,8 @@ fn fig14(opts: &Opts) {
             let mut cm = 0.0;
             let mut solved = 0usize;
             for &seed in &seeds {
-                let s = Scenario::generate(
-                    robot.clone(),
-                    &ScenarioParams::with_obstacles(count),
-                    seed,
-                );
+                let s =
+                    Scenario::generate(robot.clone(), &ScenarioParams::with_obstacles(count), seed);
                 let p = params(opts, seed, false);
                 let r0 = plan_variant(&s, Variant::V0Baseline, &p);
                 let r4 = plan_variant(&s, Variant::V4Lci, &p);
@@ -351,8 +364,17 @@ fn fig15(opts: &Opts) {
     println!("\n=== Fig 15: Hardware performance (speedup / energy-eff / area-eff) ===");
     println!(
         "{:<12} {:>5} {:>9} | {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "robot", "obst", "lat(ms)", "CPUspd", "CPUen",
-        "ASICspd", "ASICen", "ASICar", "CODspd", "CODen", "CODar"
+        "robot",
+        "obst",
+        "lat(ms)",
+        "CPUspd",
+        "CPUen",
+        "ASICspd",
+        "ASICen",
+        "ASICar",
+        "CODspd",
+        "CODen",
+        "CODar"
     );
     let design = DesignPoint::default();
     for robot in Robot::all_models() {
@@ -361,11 +383,8 @@ fn fig15(opts: &Opts) {
             let mut acc = [0.0f64; 8];
             let mut lat = 0.0;
             for &seed in &seeds {
-                let s = Scenario::generate(
-                    robot.clone(),
-                    &ScenarioParams::with_obstacles(count),
-                    seed,
-                );
+                let s =
+                    Scenario::generate(robot.clone(), &ScenarioParams::with_obstacles(count), seed);
                 let p = params(opts, seed, true);
                 let base = plan_variant(&s, Variant::V0Baseline, &p);
                 let moped = plan_variant(&s, Variant::V4Lci, &p);
@@ -442,7 +461,10 @@ fn fig16(opts: &Opts) {
     }
 
     println!("\n=== Fig 16 (bottom): Software-only wall-clock speedup (V0 vs V4) ===");
-    println!("{:<12} {:>12} {:>12} {:>8}", "robot", "V0 (ms)", "V4 (ms)", "speedup");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "robot", "V0 (ms)", "V4 (ms)", "speedup"
+    );
     for robot in Robot::all_models() {
         let s = Scenario::generate(robot.clone(), &ScenarioParams::with_obstacles(16), 71);
         let p = params(opts, 5, false);
@@ -467,7 +489,10 @@ fn fig16(opts: &Opts) {
 // ---------------------------------------------------------------------
 fn fig17(opts: &Opts) {
     println!("\n=== Fig 17 (left): S&R speedup across robot models (16 obstacles) ===");
-    println!("{:<12} {:>14} {:>16} {:>8}", "robot", "serial cycles", "S&R cycles", "speedup");
+    println!(
+        "{:<12} {:>14} {:>16} {:>8}",
+        "robot", "serial cycles", "S&R cycles", "speedup"
+    );
     let sr_of = |robot: Robot, count: usize, seed_base: u64| -> (f64, f64, f64) {
         let seeds = task_seeds(opts, seed_base);
         let mut serial = 0.0;
@@ -490,7 +515,10 @@ fn fig17(opts: &Opts) {
         println!("{:<12} {:>14.0} {:>16.0} {:>7.2}x", name, serial, spec, sp);
     }
     println!("\n=== Fig 17 (right): S&R speedup across environments (ViperX 300) ===");
-    println!("{:<8} {:>14} {:>16} {:>8}", "obst", "serial cycles", "S&R cycles", "speedup");
+    println!(
+        "{:<8} {:>14} {:>16} {:>8}",
+        "obst", "serial cycles", "S&R cycles", "speedup"
+    );
     for &count in &OBSTACLE_COUNTS {
         let (serial, spec, sp) = sr_of(Robot::viperx_300(), count, 31);
         println!("{:<8} {:>14.0} {:>16.0} {:>7.2}x", count, serial, spec, sp);
@@ -502,7 +530,10 @@ fn fig17(opts: &Opts) {
 // ---------------------------------------------------------------------
 fn fig18(opts: &Opts) {
     println!("\n=== Fig 18 (left): Path cost with AABB vs OBB obstacles (dense scenes) ===");
-    println!("{:<12} {:>10} {:>10} {:>10}", "robot", "OBB cost", "AABB cost", "AABB/OBB");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "robot", "OBB cost", "AABB cost", "AABB/OBB"
+    );
     // Dense, large, strongly-rotated obstacles: the regime where loose
     // AABB relaxations inflate detours (the paper's 20-50% gap). The 2D
     // workspace saturates faster, so its density is scaled down to keep
@@ -553,7 +584,10 @@ fn fig18(opts: &Opts) {
     }
 
     println!("\n=== Fig 18 (right): MOPED-AABB vs baseline RRT*-AABB (hw latency) ===");
-    println!("{:<12} {:>12} {:>12} {:>8}", "robot", "base (ms)", "MOPED (ms)", "speedup");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "robot", "base (ms)", "MOPED (ms)", "speedup"
+    );
     let design = DesignPoint::default();
     for robot in Robot::all_models() {
         let seeds = task_seeds(opts, 41);
@@ -565,21 +599,24 @@ fn fig18(opts: &Opts) {
             // Baseline: linear NS + naive all-pairs AABB checks.
             let base_checker = NaiveAabbChecker::new(s.obstacles.clone());
             let base =
-                RrtStar::new(&s, &base_checker, moped_core::LinearIndex::new(), p.clone())
-                    .plan();
+                RrtStar::new(&s, &base_checker, moped_core::LinearIndex::new(), p.clone()).plan();
             // MOPED with the same loose AABB second stage.
-            let moped_checker =
-                TwoStageChecker::new(s.obstacles.clone(), 4, SecondStage::AabbOnly);
+            let moped_checker = TwoStageChecker::new(s.obstacles.clone(), 4, SecondStage::AabbOnly);
             let dim = s.robot.dof();
-            let moped =
-                RrtStar::new(&s, &moped_checker, SimbrIndex::moped(dim), p.clone()).plan();
+            let moped = RrtStar::new(&s, &moped_checker, SimbrIndex::moped(dim), p.clone()).plan();
             let rb = perf::rrt_asic_report(&base.stats, &design);
             let rm = perf::moped_report(&moped.stats, &design);
             b += rb.latency_s * 1e3;
             m += rm.latency_s * 1e3;
         }
         let k = seeds.len() as f64;
-        println!("{:<12} {:>12.3} {:>12.3} {:>7.1}x", robot.name(), b / k, m / k, b / m);
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>7.1}x",
+            robot.name(),
+            b / k,
+            m / k,
+            b / m
+        );
     }
 }
 
@@ -588,9 +625,15 @@ fn fig18(opts: &Opts) {
 // ---------------------------------------------------------------------
 fn fig19(opts: &Opts) {
     println!("\n=== Fig 19 (left): Speedup at different sampling stages (drone, 16 obst) ===");
-    println!("{:<10} {:>16} {:>16} {:>8}", "samples", "baseline MACs", "MOPED MACs", "saving");
+    println!(
+        "{:<10} {:>16} {:>16} {:>8}",
+        "samples", "baseline MACs", "MOPED MACs", "saving"
+    );
     let s = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(16), 61);
-    let full = Opts { tasks: opts.tasks, samples: opts.samples.max(2000) };
+    let full = Opts {
+        tasks: opts.tasks,
+        samples: opts.samples.max(2000),
+    };
     let p = params(&full, 1, true);
     let base = plan_variant(&s, Variant::V0Baseline, &p);
     let moped = plan_variant(&s, Variant::V4Lci, &p);
@@ -604,11 +647,20 @@ fn fig19(opts: &Opts) {
         let upto = (full.samples as f64 * frac) as usize;
         let b = cum(&base, upto);
         let m = cum(&moped, upto);
-        println!("{:<10} {:>16.0} {:>16.0} {:>7.1}x", upto, b, m, b / m.max(1.0));
+        println!(
+            "{:<10} {:>16.0} {:>16.0} {:>7.1}x",
+            upto,
+            b,
+            m,
+            b / m.max(1.0)
+        );
     }
 
     println!("\n=== Fig 19 (right): SI-MBR-Tree vs KD-tree neighbor search in RRT* ===");
-    println!("{:<12} {:>14} {:>14} {:>8}", "robot", "KD-tree MACs", "SI-MBR MACs", "saving");
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}",
+        "robot", "KD-tree MACs", "SI-MBR MACs", "saving"
+    );
     for robot in [Robot::mobile_2d(), Robot::drone_3d(), Robot::xarm7()] {
         let seeds = task_seeds(opts, 43);
         let mut kd = 0.0;
@@ -638,7 +690,10 @@ fn fig19(opts: &Opts) {
 // ---------------------------------------------------------------------
 fn pipeline_stats(opts: &Opts) {
     println!("\n=== §IV-B: S&R buffer sizing across workloads ===");
-    println!("{:<12} {:>6} {:>10} {:>14}", "robot", "obst", "max FIFO", "max missing");
+    println!(
+        "{:<12} {:>6} {:>10} {:>14}",
+        "robot", "obst", "max FIFO", "max missing"
+    );
     for robot in Robot::all_models() {
         let name = robot.name();
         for &count in [8usize, 48].iter() {
@@ -656,7 +711,11 @@ fn pipeline_stats(opts: &Opts) {
     println!("\nFunctional equivalence of speculation (algorithm-level replay):");
     for robot in [Robot::mobile_2d(), Robot::drone_3d()] {
         let s = Scenario::generate(robot, &ScenarioParams::with_obstacles(16), 5);
-        let p = PlannerParams { max_samples: 400, seed: 1, ..PlannerParams::default() };
+        let p = PlannerParams {
+            max_samples: 400,
+            seed: 1,
+            ..PlannerParams::default()
+        };
         let rep = pipeline::verify_equivalence(&s, &p, 2);
         println!(
             "  {:<12} rounds {:>5}, correct speculations {:>5}, repairs {:>4}, equivalent: {}",
@@ -764,11 +823,7 @@ fn space_subdivision(opts: &Opts) {
     let seeds = task_seeds(opts, 47);
     let mut probes = Vec::new();
     for &seed in &seeds {
-        let sc = Scenario::generate(
-            Robot::drone_3d(),
-            &ScenarioParams::with_obstacles(32),
-            seed,
-        );
+        let sc = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(32), seed);
         for t in 0..20 {
             let q = sc.start.lerp(&sc.goal, t as f64 / 19.0);
             probes.push(s.robot.body_obbs(&q)[0]);

@@ -124,7 +124,10 @@ pub struct NaiveChecker {
 impl NaiveChecker {
     /// Creates a checker over the given obstacle field.
     pub fn new(obstacles: Vec<Obb>) -> Self {
-        NaiveChecker { obstacles, bodies: std::cell::RefCell::new(Vec::new()) }
+        NaiveChecker {
+            obstacles,
+            bodies: std::cell::RefCell::new(Vec::new()),
+        }
     }
 
     /// The obstacle field being checked against.
@@ -167,8 +170,15 @@ pub struct NaiveAabbChecker {
 impl NaiveAabbChecker {
     /// Creates a checker over the AABB relaxations of `obstacles`.
     pub fn new(obstacles: Vec<Obb>) -> Self {
-        let aabbs = obstacles.iter().map(moped_geometry::Aabb::from_obb).collect();
-        NaiveAabbChecker { obstacles, aabbs, bodies: std::cell::RefCell::new(Vec::new()) }
+        let aabbs = obstacles
+            .iter()
+            .map(moped_geometry::Aabb::from_obb)
+            .collect();
+        NaiveAabbChecker {
+            obstacles,
+            aabbs,
+            bodies: std::cell::RefCell::new(Vec::new()),
+        }
     }
 
     /// The original OBB obstacle field.
@@ -241,6 +251,20 @@ impl TwoStageChecker {
     /// stage.
     pub fn moped(obstacles: Vec<Obb>) -> Self {
         TwoStageChecker::new(obstacles, 4, SecondStage::ObbExact)
+    }
+
+    /// Wraps an R-tree that was already bulk-loaded over exactly
+    /// `obstacles` (same order). A serving layer pays the STR build once
+    /// per environment snapshot and hands each worker a cheap structural
+    /// clone instead of re-sorting the obstacle field per request.
+    pub fn with_prebuilt(rtree: RTree, obstacles: Vec<Obb>, second: SecondStage) -> Self {
+        debug_assert_eq!(rtree.len(), obstacles.len(), "rtree/obstacle mismatch");
+        TwoStageChecker {
+            rtree,
+            obstacles,
+            second,
+            scratch: std::cell::RefCell::new(TwoStageScratch::default()),
+        }
     }
 
     /// The underlying obstacle R-tree (exposed for the hardware model's
@@ -336,7 +360,9 @@ mod tests {
             let mut lt = CollisionLedger::default();
             let mut rng_like = 0u64;
             for _ in 0..40 {
-                rng_like = rng_like.wrapping_mul(6364136223846793005).wrapping_add(seed + 1);
+                rng_like = rng_like
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed + 1);
                 let unit: Vec<f64> = (0..6)
                     .map(|i| ((rng_like >> (i * 8)) & 0xFF) as f64 / 255.0)
                     .collect();
@@ -383,7 +409,9 @@ mod tests {
         let mut le = CollisionLedger::default();
         let mut state = 7u64;
         for _ in 0..60 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let unit: Vec<f64> = (0..6)
                 .map(|i| ((state >> (i * 9)) & 0x1FF) as f64 / 511.0)
                 .collect();

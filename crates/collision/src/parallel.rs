@@ -36,7 +36,9 @@ impl<C: CollisionChecker + Clone + Send> ParallelMotionChecker<C> {
     /// Panics if `threads == 0`.
     pub fn new(checker: C, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker");
-        ParallelMotionChecker { workers: vec![checker; threads] }
+        ParallelMotionChecker {
+            workers: vec![checker; threads],
+        }
     }
 
     /// Number of workers.
@@ -61,7 +63,13 @@ impl<C: CollisionChecker + Clone + Send> ParallelMotionChecker<C> {
         ledger.motion_queries += 1;
         let n = steps.count(from.distance(to));
         let poses: Vec<Config> = (1..=n)
-            .map(|i| if i == n { *to } else { from.lerp(to, i as f64 / n as f64) })
+            .map(|i| {
+                if i == n {
+                    *to
+                } else {
+                    from.lerp(to, i as f64 / n as f64)
+                }
+            })
             .collect();
         let threads = self.workers.len().min(poses.len().max(1));
         let chunk = poses.len().div_ceil(threads);
@@ -70,9 +78,7 @@ impl<C: CollisionChecker + Clone + Send> ParallelMotionChecker<C> {
         let mut ledgers: Vec<CollisionLedger> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (worker, chunk_poses) in
-                self.workers.iter_mut().zip(poses.chunks(chunk.max(1)))
-            {
+            for (worker, chunk_poses) in self.workers.iter_mut().zip(poses.chunks(chunk.max(1))) {
                 let collided = &collided;
                 handles.push(scope.spawn(move || {
                     let mut local = CollisionLedger::default();
@@ -144,8 +150,7 @@ mod tests {
 
     #[test]
     fn wall_is_detected_in_parallel() {
-        let wall =
-            Obb::axis_aligned(Vec3::new(150.0, 150.0, 150.0), Vec3::new(5.0, 130.0, 130.0));
+        let wall = Obb::axis_aligned(Vec3::new(150.0, 150.0, 150.0), Vec3::new(5.0, 130.0, 130.0));
         let robot = moped_robot::Robot::drone_3d();
         let mut par = ParallelMotionChecker::new(TwoStageChecker::moped(vec![wall]), 4);
         let from = Config::new(&[30.0, 150.0, 150.0, 0.0, 0.0, 0.0]);

@@ -3,8 +3,7 @@
 //! the AABB-only mode must be conservative.
 
 use moped_collision::{
-    CollisionChecker, CollisionLedger, NaiveAabbChecker, NaiveChecker, SecondStage,
-    TwoStageChecker,
+    CollisionChecker, CollisionLedger, NaiveAabbChecker, NaiveChecker, SecondStage, TwoStageChecker,
 };
 use moped_geometry::{Config, InterpolationSteps};
 use moped_robot::Robot;

@@ -29,7 +29,10 @@ struct HalfTree<N: NeighborIndex> {
 impl<N: NeighborIndex> HalfTree<N> {
     fn new(root: Config, mut index: N, ops: &mut OpCount) -> Self {
         index.insert(0, root, None, ops);
-        HalfTree { nodes: vec![(root, None)], index }
+        HalfTree {
+            nodes: vec![(root, None)],
+            index,
+        }
     }
 
     fn push(&mut self, q: Config, parent: usize, anchor: u64, ops: &mut OpCount) -> usize {
@@ -130,7 +133,13 @@ impl<'a, N: NeighborIndex> RrtConnect<'a, N> {
         if x_new == x_near {
             return Extend::Trapped;
         }
-        if !checker.motion_free(&scenario.robot, &x_near, &x_new, steps, &mut stats.collision) {
+        if !checker.motion_free(
+            &scenario.robot,
+            &x_near,
+            &x_new,
+            steps,
+            &mut stats.collision,
+        ) {
             return Extend::Trapped;
         }
         let id = tree.push(x_new, near_idx, near_id, &mut stats.insert_ops);
@@ -198,11 +207,13 @@ impl<'a, N: NeighborIndex> RrtConnect<'a, N> {
                                 tail.remove(0);
                             }
                             path.extend(tail);
-                            let cost =
-                                path.windows(2).map(|w| w[0].distance(&w[1])).sum();
-                            stats.nodes =
-                                self.start_tree.nodes.len() + self.goal_tree.nodes.len();
-                            return PlanResult { path: Some(path), path_cost: cost, stats };
+                            let cost = path.windows(2).map(|w| w[0].distance(&w[1])).sum();
+                            stats.nodes = self.start_tree.nodes.len() + self.goal_tree.nodes.len();
+                            return PlanResult {
+                                path: Some(path),
+                                path_cost: cost,
+                                stats,
+                            };
                         }
                     }
                 }
@@ -210,7 +221,11 @@ impl<'a, N: NeighborIndex> RrtConnect<'a, N> {
             from_start = !from_start;
         }
         stats.nodes = self.start_tree.nodes.len() + self.goal_tree.nodes.len();
-        PlanResult { path: None, path_cost: f64::INFINITY, stats }
+        PlanResult {
+            path: None,
+            path_cost: f64::INFINITY,
+            stats,
+        }
     }
 }
 
@@ -267,7 +282,12 @@ impl InformedSampler {
             }
         }
         debug_assert_eq!(basis.len(), d, "Gram-Schmidt must complete the basis");
-        InformedSampler { start, goal, c_min, basis }
+        InformedSampler {
+            start,
+            goal,
+            c_min,
+            basis,
+        }
     }
 
     /// Minimum possible path cost (the start–goal distance).
@@ -349,11 +369,9 @@ pub fn plan_informed<N: NeighborIndex>(
     // path where direct motions are free (a lightweight smoother that
     // realizes the informed bound without a second full tree).
     let mut path = first.path.clone().expect("checked above");
-    let steps = params
-        .interpolation
-        .unwrap_or_else(|| InterpolationSteps::with_resolution(
-            (scenario.robot.steering_step() / 4.0).max(1e-3),
-        ));
+    let steps = params.interpolation.unwrap_or_else(|| {
+        InterpolationSteps::with_resolution((scenario.robot.steering_step() / 4.0).max(1e-3))
+    });
     let mut stats = first.stats.clone();
     for _ in 0..params.max_samples / 4 {
         if path.len() < 3 {
@@ -368,14 +386,30 @@ pub fn plan_informed<N: NeighborIndex>(
         let via_probe = path[i].distance(&probe) + probe.distance(&path[j]);
         let current: f64 = path[i..=j].windows(2).map(|w| w[0].distance(&w[1])).sum();
         if via_probe < current
-            && checker.motion_free(&scenario.robot, &path[i], &probe, &steps, &mut stats.collision)
-            && checker.motion_free(&scenario.robot, &probe, &path[j], &steps, &mut stats.collision)
+            && checker.motion_free(
+                &scenario.robot,
+                &path[i],
+                &probe,
+                &steps,
+                &mut stats.collision,
+            )
+            && checker.motion_free(
+                &scenario.robot,
+                &probe,
+                &path[j],
+                &steps,
+                &mut stats.collision,
+            )
         {
             path.splice(i + 1..j, [probe]);
         }
     }
     let path_cost = path.windows(2).map(|w| w[0].distance(&w[1])).sum();
-    PlanResult { path: Some(path), path_cost, stats }
+    PlanResult {
+        path: Some(path),
+        path_cost,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -394,7 +428,11 @@ mod tests {
             31,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let params = PlannerParams { max_samples: 800, seed: 2, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 800,
+            seed: 2,
+            ..PlannerParams::default()
+        };
         let r = RrtConnect::new(&s, &checker, params, || SimbrIndex::moped(3)).plan();
         assert!(r.solved(), "RRT-Connect should solve an open 2D scene");
         let path = r.path.unwrap();
@@ -417,7 +455,11 @@ mod tests {
             17,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let params = PlannerParams { max_samples: 1500, seed: 6, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 1500,
+            seed: 6,
+            ..PlannerParams::default()
+        };
         let rc = RrtConnect::new(&s, &checker, params.clone(), || SimbrIndex::moped(6)).plan();
         let rs = crate::RrtStar::new(&s, &checker, SimbrIndex::moped(6), params).plan();
         if rc.solved() && rs.solved() {
@@ -470,7 +512,11 @@ mod tests {
             9,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let params = PlannerParams { max_samples: 1000, seed: 4, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 1000,
+            seed: 4,
+            ..PlannerParams::default()
+        };
         let base = crate::RrtStar::new(&s, &checker, SimbrIndex::moped(3), params.clone()).plan();
         let informed = plan_informed(&s, &checker, SimbrIndex::moped(3), params);
         if base.solved() && informed.solved() {

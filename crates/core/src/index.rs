@@ -121,7 +121,12 @@ impl SimbrIndex {
     ///
     /// `node_capacity` is the SI-MBR node size (paper-style small nodes;
     /// 4–8 work well).
-    pub fn new(dim: usize, node_capacity: usize, approx_search: bool, low_cost_insert: bool) -> Self {
+    pub fn new(
+        dim: usize,
+        node_capacity: usize,
+        approx_search: bool,
+        low_cost_insert: bool,
+    ) -> Self {
         SimbrIndex {
             tree: SiMbrTree::new(dim, node_capacity),
             approx_search,
@@ -217,7 +222,9 @@ pub struct KdIndex {
 impl KdIndex {
     /// Creates the index for `dim`-dimensional configurations.
     pub fn new(dim: usize) -> Self {
-        KdIndex { tree: KdTree::new(dim) }
+        KdIndex {
+            tree: KdTree::new(dim),
+        }
     }
 
     /// Access to the underlying KD-tree.
@@ -261,8 +268,9 @@ mod tests {
     fn seeded_points(n: usize, dim: usize) -> Vec<Config> {
         (0..n)
             .map(|i| {
-                let coords: Vec<f64> =
-                    (0..dim).map(|d| (((i * 31 + d * 17) % 97) as f64) / 3.0).collect();
+                let coords: Vec<f64> = (0..dim)
+                    .map(|d| (((i * 31 + d * 17) % 97) as f64) / 3.0)
+                    .collect();
                 Config::new(&coords)
             })
             .collect()
@@ -320,12 +328,18 @@ mod tests {
         fill(&mut kd, &pts);
         let mut ops = OpCount::default();
         let q = Config::new(&[10.0, 10.0, 10.0]);
-        let mut want: Vec<u64> =
-            linear.neighborhood(0, &q, 6.0, &mut ops).iter().map(|(i, _)| *i).collect();
+        let mut want: Vec<u64> = linear
+            .neighborhood(0, &q, 6.0, &mut ops)
+            .iter()
+            .map(|(i, _)| *i)
+            .collect();
         want.sort_unstable();
         for idx in [&simbr as &dyn NeighborIndex, &kd as &dyn NeighborIndex] {
-            let mut got: Vec<u64> =
-                idx.neighborhood(0, &q, 6.0, &mut ops).iter().map(|(i, _)| *i).collect();
+            let mut got: Vec<u64> = idx
+                .neighborhood(0, &q, 6.0, &mut ops)
+                .iter()
+                .map(|(i, _)| *i)
+                .collect();
             got.sort_unstable();
             assert_eq!(got, want, "{} wrong neighborhood", idx.name());
         }
@@ -371,8 +385,14 @@ mod tests {
     #[test]
     fn empty_index_nearest_is_none() {
         let mut ops = OpCount::default();
-        assert!(LinearIndex::new().nearest(&Config::zeros(2), &mut ops).is_none());
-        assert!(SimbrIndex::moped(2).nearest(&Config::zeros(2), &mut ops).is_none());
-        assert!(KdIndex::new(2).nearest(&Config::zeros(2), &mut ops).is_none());
+        assert!(LinearIndex::new()
+            .nearest(&Config::zeros(2), &mut ops)
+            .is_none());
+        assert!(SimbrIndex::moped(2)
+            .nearest(&Config::zeros(2), &mut ops)
+            .is_none());
+        assert!(KdIndex::new(2)
+            .nearest(&Config::zeros(2), &mut ops)
+            .is_none());
     }
 }

@@ -42,4 +42,4 @@ mod variant;
 
 pub use index::{KdIndex, LinearIndex, NeighborIndex, SimbrIndex};
 pub use planner::{PlanResult, PlanStats, PlannerParams, RoundTrace, RrtStar};
-pub use variant::{plan_variant, variant_components, Variant};
+pub use variant::{plan_variant, plan_variant_with_stop, variant_components, Variant};

@@ -1,8 +1,8 @@
 //! The RRT\* planner with phase-level cost accounting.
 
 use moped_collision::{CollisionChecker, CollisionLedger};
-use moped_geometry::{Config, InterpolationSteps, OpCount};
 use moped_env::Scenario;
+use moped_geometry::{Config, InterpolationSteps, OpCount};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,6 +90,10 @@ pub struct PlanStats {
     /// time the best known solution improved — RRT\*'s asymptotic
     /// optimality made visible.
     pub solution_history: Vec<(usize, f64)>,
+    /// `true` when the run was cut short by a stop hook (deadline or
+    /// cancellation) before exhausting its sampling budget; the result
+    /// is the best-so-far anytime answer.
+    pub stopped_early: bool,
 }
 
 impl PlanStats {
@@ -149,7 +153,13 @@ pub struct RrtStar<'a, N: NeighborIndex> {
     steps: InterpolationSteps,
     step: f64,
     rewire_enabled: bool,
+    stop_hook: Option<StopHook<'a>>,
 }
+
+/// A cooperative-stop predicate polled every `.0` sampling rounds; when
+/// it returns `true` the planner abandons the remaining budget and
+/// returns its best-so-far anytime result.
+type StopHook<'a> = (usize, Box<dyn Fn() -> bool + 'a>);
 
 impl<'a, N: NeighborIndex> RrtStar<'a, N> {
     /// Creates a planner over `scenario` with the given backends.
@@ -174,7 +184,21 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
             steps,
             step,
             rewire_enabled: true,
+            stop_hook: None,
         }
+    }
+
+    /// Installs a cooperative stop hook polled every `every` sampling
+    /// rounds (clamped to ≥ 1). When `hook` returns `true` the planner
+    /// stops early and returns its best-so-far anytime result with
+    /// [`PlanStats::stopped_early`] set; the exploration tree remains
+    /// fully consistent (see [`RrtStar::check_tree_invariants`]).
+    ///
+    /// This is how a serving layer enforces per-request deadlines and
+    /// cancellation without killing threads mid-iteration.
+    pub fn with_stop_hook(mut self, every: usize, hook: impl Fn() -> bool + 'a) -> Self {
+        self.stop_hook = Some((every.max(1), Box::new(hook)));
+        self
     }
 
     /// Disables the refinement stage, turning the planner into plain RRT
@@ -210,7 +234,16 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
 
         let mut best_goal: Option<(usize, f64)> = None; // (node, node→goal dist)
 
-        for _round in 0..self.params.max_samples {
+        for round in 0..self.params.max_samples {
+            // Cooperative cancellation/deadline: polled every N rounds so
+            // a serving layer can reclaim the worker; the tree stays
+            // consistent and the best-so-far result is still extracted.
+            if let Some((every, hook)) = &self.stop_hook {
+                if round % every == 0 && round > 0 && hook() {
+                    stats.stopped_early = true;
+                    break;
+                }
+            }
             stats.samples += 1;
             let mut trace = RoundTrace::default();
 
@@ -285,8 +318,7 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
                 if ci == nearest_idx {
                     continue;
                 }
-                let c = self.nodes[ci].cost
-                    + cand_q.distance_counted(&x_new, &mut stats.other_ops);
+                let c = self.nodes[ci].cost + cand_q.distance_counted(&x_new, &mut stats.other_ops);
                 candidates.push((c, ci));
             }
             candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
@@ -324,8 +356,12 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
             });
             self.nodes[parent].children.push(new_idx);
             let ins_mark = stats.insert_ops;
-            self.index
-                .insert(new_idx as u64, x_new, Some(nearest_id), &mut stats.insert_ops);
+            self.index.insert(
+                new_idx as u64,
+                x_new,
+                Some(nearest_id),
+                &mut stats.insert_ops,
+            );
             trace.insert_macs = (stats.insert_ops - ins_mark).mac_equiv();
             trace.accepted = true;
             stats.nodes = self.nodes.len();
@@ -337,8 +373,7 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
                     if ci == parent || ci == new_idx {
                         continue;
                     }
-                    let through = best_cost
-                        + x_new.distance_counted(cand_q, &mut stats.other_ops);
+                    let through = best_cost + x_new.distance_counted(cand_q, &mut stats.other_ops);
                     stats.other_ops.cmp += 1;
                     if through < self.nodes[ci].cost
                         && self.checker.motion_free(
@@ -399,7 +434,11 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
         };
 
         stats.nodes = self.nodes.len();
-        PlanResult { path, path_cost, stats }
+        PlanResult {
+            path,
+            path_cost,
+            stats,
+        }
     }
 
     /// Total collision-ledger MACs (both stages).
@@ -487,7 +526,11 @@ mod tests {
     use moped_robot::Robot;
 
     fn quick_params(samples: usize, seed: u64) -> PlannerParams {
-        PlannerParams { max_samples: samples, seed, ..PlannerParams::default() }
+        PlannerParams {
+            max_samples: samples,
+            seed,
+            ..PlannerParams::default()
+        }
     }
 
     #[test]
@@ -498,8 +541,7 @@ mod tests {
             3,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let mut planner =
-            RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(800, 5));
+        let mut planner = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(800, 5));
         let result = planner.plan();
         assert!(result.solved(), "open world should be solvable");
         assert!(result.path_cost.is_finite());
@@ -514,8 +556,7 @@ mod tests {
             7,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let mut planner =
-            RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(800, 2));
+        let mut planner = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(800, 2));
         let result = planner.plan();
         if let Some(path) = &result.path {
             assert_eq!(path[0], s.start);
@@ -535,8 +576,7 @@ mod tests {
             11,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let mut planner =
-            RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(1200, 9));
+        let mut planner = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(1200, 9));
         let result = planner.plan();
         if let Some(path) = &result.path {
             for w in path.windows(2) {
@@ -596,7 +636,10 @@ mod tests {
             2,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let params = PlannerParams { trace_rounds: true, ..quick_params(200, 3) };
+        let params = PlannerParams {
+            trace_rounds: true,
+            ..quick_params(200, 3)
+        };
         let mut planner = RrtStar::new(&s, &checker, SimbrIndex::moped(3), params);
         let result = planner.plan();
         assert_eq!(result.stats.rounds.len(), result.stats.samples);
@@ -677,8 +720,7 @@ mod tests {
             14,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let result =
-            RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(1500, 8)).plan();
+        let result = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(1500, 8)).plan();
         let h = &result.stats.solution_history;
         if result.solved() {
             assert!(!h.is_empty(), "a solved run must record its first solution");
@@ -693,12 +735,63 @@ mod tests {
     }
 
     #[test]
-    fn seven_dof_arm_planning_runs() {
+    fn stop_hook_truncates_run_to_identical_prefix() {
+        // Stopping at round K must be indistinguishable from a run whose
+        // budget was K all along: same tree, same best-so-far answer.
         let s = moped_env::Scenario::generate(
-            Robot::xarm7(),
+            Robot::mobile_2d(),
             &ScenarioParams::with_obstacles(8),
-            10,
+            3,
         );
+        let checker = TwoStageChecker::moped(s.obstacles.clone());
+        let polls = std::cell::Cell::new(0u32);
+        let mut hooked = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(800, 5))
+            .with_stop_hook(50, || {
+                polls.set(polls.get() + 1);
+                polls.get() >= 3 // fires at round 150
+            });
+        let early = hooked.plan();
+        assert!(early.stats.stopped_early);
+        assert_eq!(early.stats.samples, 150);
+        assert!(hooked.check_tree_invariants().is_none());
+
+        let full = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(150, 5)).plan();
+        assert!(!full.stats.stopped_early);
+        assert_eq!(early.path_cost.to_bits(), full.path_cost.to_bits());
+        assert_eq!(early.stats.total_ops(), full.stats.total_ops());
+    }
+
+    #[test]
+    fn deadline_expiry_returns_valid_best_so_far() {
+        // A wall-clock deadline far shorter than the sampling budget must
+        // cut the run short while leaving a sound tree and a usable
+        // anytime result — the serving layer's liveness guarantee.
+        use std::time::{Duration, Instant};
+        let s = moped_env::Scenario::generate(
+            Robot::drone_3d(),
+            &ScenarioParams::with_obstacles(32),
+            13,
+        );
+        let checker = TwoStageChecker::moped(s.obstacles.clone());
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let params = quick_params(50_000_000, 4); // would run for hours
+        let mut planner = RrtStar::new(&s, &checker, SimbrIndex::moped(6), params)
+            .with_stop_hook(64, move || Instant::now() >= deadline);
+        let result = planner.plan();
+        assert!(result.stats.stopped_early, "deadline must fire");
+        assert!(result.stats.samples < 50_000_000);
+        assert!(planner.check_tree_invariants().is_none());
+        assert_eq!(result.stats.nodes, planner.tree_snapshot().len());
+        if let Some(path) = &result.path {
+            assert_eq!(path[0], s.start);
+            assert_eq!(*path.last().unwrap(), s.goal);
+        }
+    }
+
+    #[test]
+    fn seven_dof_arm_planning_runs() {
+        let s =
+            moped_env::Scenario::generate(Robot::xarm7(), &ScenarioParams::with_obstacles(8), 10);
         let checker = TwoStageChecker::moped(s.obstacles.clone());
         let params = PlannerParams {
             goal_tolerance: 0.8,

@@ -51,7 +51,12 @@ pub struct ReplanParams {
 impl Default for ReplanParams {
     /// 10 Hz control, 4 units/epoch, 600-epoch budget, 5-epoch lookahead.
     fn default() -> Self {
-        ReplanParams { epoch_s: 0.1, speed: 4.0, max_epochs: 600, validate_horizon: 5 }
+        ReplanParams {
+            epoch_s: 0.1,
+            speed: 4.0,
+            max_epochs: 600,
+            validate_horizon: 5,
+        }
     }
 }
 
@@ -123,7 +128,10 @@ pub fn run(
                 &snapshot,
                 &checker,
                 SimbrIndex::moped(dim),
-                PlannerParams { seed: planner_params.seed + epoch as u64, ..planner_params.clone() },
+                PlannerParams {
+                    seed: planner_params.seed + epoch as u64,
+                    ..planner_params.clone()
+                },
             );
             let result = planner.plan();
             report.plans += 1;
@@ -175,7 +183,10 @@ mod tests {
     }
 
     fn quick_planner() -> PlannerParams {
-        PlannerParams { max_samples: 600, ..PlannerParams::default() }
+        PlannerParams {
+            max_samples: 600,
+            ..PlannerParams::default()
+        }
     }
 
     #[test]
@@ -200,13 +211,24 @@ mod tests {
             // obstacle field (except declared stall epochs).
             assert!(rep.plans >= 1);
         }
-        assert!(reached >= 2, "most dynamic runs should still succeed: {reached}/3");
+        assert!(
+            reached >= 2,
+            "most dynamic runs should still succeed: {reached}/3"
+        );
     }
 
     #[test]
     fn faster_obstacles_cause_more_replans() {
-        let slow = run(&dynamic_scene(7, 2.0), &quick_planner(), &ReplanParams::default());
-        let fast = run(&dynamic_scene(7, 20.0), &quick_planner(), &ReplanParams::default());
+        let slow = run(
+            &dynamic_scene(7, 2.0),
+            &quick_planner(),
+            &ReplanParams::default(),
+        );
+        let fast = run(
+            &dynamic_scene(7, 20.0),
+            &quick_planner(),
+            &ReplanParams::default(),
+        );
         assert!(
             fast.plans >= slow.plans,
             "faster world should need at least as many plans: {} vs {}",

@@ -61,15 +61,18 @@ pub fn shortcut(
         let j = rng.gen_range(i + 2..out.len());
         let direct = out[i].distance(&out[j]);
         let current: f64 = out[i..=j].windows(2).map(|w| w[0].distance(&w[1])).sum();
-        if direct + 1e-9 < current
-            && checker.motion_free(robot, &out[i], &out[j], steps, ledger)
-        {
+        if direct + 1e-9 < current && checker.motion_free(robot, &out[i], &out[j], steps, ledger) {
             out.drain(i + 1..j);
             shortcuts_applied += 1;
         }
     }
     let cost_after = path_cost(&out);
-    SmoothReport { path: out, cost_before, cost_after, shortcuts_applied }
+    SmoothReport {
+        path: out,
+        cost_before,
+        cost_after,
+        shortcuts_applied,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +116,11 @@ mod tests {
             5,
         );
         let checker = TwoStageChecker::moped(s.obstacles.clone());
-        let params = crate::PlannerParams { max_samples: 800, seed: 2, ..Default::default() };
+        let params = crate::PlannerParams {
+            max_samples: 800,
+            seed: 2,
+            ..Default::default()
+        };
         let r = crate::RrtStar::new(&s, &checker, crate::SimbrIndex::moped(3), params).plan();
         if let Some(path) = &r.path {
             let steps = InterpolationSteps::with_resolution(1.0);
@@ -136,6 +143,14 @@ mod tests {
         let checker = TwoStageChecker::moped(Vec::new());
         let steps = InterpolationSteps::default();
         let mut ledger = CollisionLedger::default();
-        let _ = shortcut(&[Config::zeros(3)], &robot, &checker, &steps, 10, 0, &mut ledger);
+        let _ = shortcut(
+            &[Config::zeros(3)],
+            &robot,
+            &checker,
+            &steps,
+            10,
+            0,
+            &mut ledger,
+        );
     }
 }

@@ -70,6 +70,29 @@ pub fn variant_components(variant: Variant) -> (bool, bool, bool, bool) {
 /// This is the entry point every evaluation figure drives: same scenario,
 /// same seed, same sampling budget — only the co-designed kernels vary.
 pub fn plan_variant(scenario: &Scenario, variant: Variant, params: &PlannerParams) -> PlanResult {
+    plan_variant_impl(scenario, variant, params, None)
+}
+
+/// [`plan_variant`] with a cooperative stop hook polled every `every`
+/// sampling rounds — the serving layer's deadline/cancellation path.
+/// When the hook fires the best-so-far anytime result is returned with
+/// [`crate::PlanStats::stopped_early`] set.
+pub fn plan_variant_with_stop(
+    scenario: &Scenario,
+    variant: Variant,
+    params: &PlannerParams,
+    every: usize,
+    stop: &dyn Fn() -> bool,
+) -> PlanResult {
+    plan_variant_impl(scenario, variant, params, Some((every, stop)))
+}
+
+fn plan_variant_impl(
+    scenario: &Scenario,
+    variant: Variant,
+    params: &PlannerParams,
+    stop: Option<(usize, &dyn Fn() -> bool)>,
+) -> PlanResult {
     let (two_stage, simbr, sias, lci) = variant_components(variant);
     let dim = scenario.robot.dof();
     let checker: Box<dyn CollisionChecker> = if two_stage {
@@ -79,9 +102,22 @@ pub fn plan_variant(scenario: &Scenario, variant: Variant, params: &PlannerParam
     };
     if simbr {
         let index = SimbrIndex::new(dim, 6, sias, lci);
-        RrtStar::new(scenario, checker.as_ref(), index, params.clone()).plan()
+        let mut planner = RrtStar::new(scenario, checker.as_ref(), index, params.clone());
+        match stop {
+            Some((every, hook)) => planner.with_stop_hook(every, hook).plan(),
+            None => planner.plan(),
+        }
     } else {
-        RrtStar::new(scenario, checker.as_ref(), LinearIndex::new(), params.clone()).plan()
+        let mut planner = RrtStar::new(
+            scenario,
+            checker.as_ref(),
+            LinearIndex::new(),
+            params.clone(),
+        );
+        match stop {
+            Some((every, hook)) => planner.with_stop_hook(every, hook).plan(),
+            None => planner.plan(),
+        }
     }
 }
 
@@ -102,7 +138,11 @@ mod tests {
         // across variants diverge per-run (different parent choices grow
         // different trees), so each claim is checked on its own ledger.
         let s = scene(19);
-        let params = PlannerParams { max_samples: 300, seed: 7, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 300,
+            seed: 7,
+            ..PlannerParams::default()
+        };
         let results: Vec<_> = Variant::ALL
             .iter()
             .map(|v| plan_variant(&s, *v, &params))
@@ -112,8 +152,18 @@ mod tests {
         let ns = |i: usize| results[i].stats.ns_ops.mac_equiv();
         let ins = |i: usize| results[i].stats.insert_ops.mac_equiv();
 
-        assert!(cc(1) * 2 < cc(0), "TSPS must cut collision work >2x: {} vs {}", cc(1), cc(0));
-        assert!(ns(2) < ns(1), "STNS must cut NS work: {} vs {}", ns(2), ns(1));
+        assert!(
+            cc(1) * 2 < cc(0),
+            "TSPS must cut collision work >2x: {} vs {}",
+            cc(1),
+            cc(0)
+        );
+        assert!(
+            ns(2) < ns(1),
+            "STNS must cut NS work: {} vs {}",
+            ns(2),
+            ns(1)
+        );
         // SIAS removes the second of the round's two searches; the exact
         // factor depends on how range-search-heavy the workload is.
         assert!(
@@ -122,7 +172,12 @@ mod tests {
             ns(3),
             ns(2)
         );
-        assert!(ins(4) < ins(3), "LCI must cut insertion work: {} vs {}", ins(4), ins(3));
+        assert!(
+            ins(4) < ins(3),
+            "LCI must cut insertion work: {} vs {}",
+            ins(4),
+            ins(3)
+        );
         assert!(
             total(4) * 2 < total(0),
             "full MOPED should save >2x total at this small budget: {} vs {}",
@@ -135,7 +190,11 @@ mod tests {
     fn sias_preserves_path_quality() {
         // Fig 8 (left): approximated neighbor search must not degrade
         // path cost materially (averaged over seeds to damp run noise).
-        let params = PlannerParams { max_samples: 400, seed: 5, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 400,
+            seed: 5,
+            ..PlannerParams::default()
+        };
         let mut exact_sum = 0.0;
         let mut approx_sum = 0.0;
         let mut solved = 0;
@@ -163,7 +222,11 @@ mod tests {
     #[test]
     fn all_variants_produce_sound_results() {
         let s = scene(23);
-        let params = PlannerParams { max_samples: 200, seed: 3, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 200,
+            seed: 3,
+            ..PlannerParams::default()
+        };
         for v in Variant::ALL {
             let r = plan_variant(&s, v, &params);
             assert_eq!(r.stats.samples, 200, "{v}");
@@ -183,10 +246,22 @@ mod tests {
 
     #[test]
     fn component_table_matches_ladder() {
-        assert_eq!(variant_components(Variant::V0Baseline), (false, false, false, false));
-        assert_eq!(variant_components(Variant::V1Tsps), (true, false, false, false));
-        assert_eq!(variant_components(Variant::V2Stns), (true, true, false, false));
-        assert_eq!(variant_components(Variant::V3Sias), (true, true, true, false));
+        assert_eq!(
+            variant_components(Variant::V0Baseline),
+            (false, false, false, false)
+        );
+        assert_eq!(
+            variant_components(Variant::V1Tsps),
+            (true, false, false, false)
+        );
+        assert_eq!(
+            variant_components(Variant::V2Stns),
+            (true, true, false, false)
+        );
+        assert_eq!(
+            variant_components(Variant::V3Sias),
+            (true, true, true, false)
+        );
         assert_eq!(variant_components(Variant::V4Lci), (true, true, true, true));
     }
 }

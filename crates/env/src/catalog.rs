@@ -5,7 +5,6 @@
 //! reproducible starting points. Every scene is parameterized only by the
 //! robot model and is fully deterministic.
 
-
 use moped_geometry::{Config, Obb, Vec3};
 use moped_robot::{Robot, RobotModel, WORKSPACE_EXTENT};
 
@@ -43,6 +42,12 @@ impl NamedScene {
             NamedScene::OpenMeadow => "open-meadow",
         }
     }
+
+    /// Resolves a scene from its [`name`](NamedScene::name) — the lookup
+    /// a serving layer uses to map request environment ids to scenes.
+    pub fn from_name(name: &str) -> Option<NamedScene> {
+        NamedScene::ALL.into_iter().find(|s| s.name() == name)
+    }
 }
 
 /// Builds a named scene for the given robot.
@@ -74,13 +79,7 @@ pub fn build(scene: NamedScene, robot: Robot) -> Scenario {
         if planar {
             Obb::planar(Vec3::new(p.x, p.y, 0.0), hx * scale, hy * scale, yaw)
         } else {
-            Obb::from_euler(
-                p,
-                Vec3::new(hx, hy, hz.max(1.0)) * scale,
-                yaw,
-                0.0,
-                0.0,
-            )
+            Obb::from_euler(p, Vec3::new(hx, hy, hz.max(1.0)) * scale, yaw, 0.0, 0.0)
         }
     };
 
@@ -267,6 +266,14 @@ mod tests {
             assert!(!s.config_collides(&s.start));
             assert!(!s.config_collides(&s.goal));
         }
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for scene in NamedScene::ALL {
+            assert_eq!(NamedScene::from_name(scene.name()), Some(scene));
+        }
+        assert_eq!(NamedScene::from_name("no-such-scene"), None);
     }
 
     #[test]

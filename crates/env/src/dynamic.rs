@@ -95,7 +95,11 @@ impl DynamicScenario {
                 velocity: Vec3::new(
                     rng.gen_range(-max_speed..=max_speed),
                     rng.gen_range(-max_speed..=max_speed),
-                    if planar { 0.0 } else { rng.gen_range(-max_speed..=max_speed) },
+                    if planar {
+                        0.0
+                    } else {
+                        rng.gen_range(-max_speed..=max_speed)
+                    },
                 ),
                 spin: rng.gen_range(-max_spin..=max_spin),
             })
@@ -139,11 +143,7 @@ mod tests {
     use moped_robot::Robot;
 
     fn dynamic_scene(seed: u64) -> DynamicScenario {
-        let base = Scenario::generate(
-            Robot::drone_3d(),
-            &ScenarioParams::with_obstacles(12),
-            seed,
-        );
+        let base = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(12), seed);
         DynamicScenario::animate(base, 10.0, default_spin(), seed)
     }
 
@@ -166,7 +166,10 @@ mod tests {
             .zip(&t5)
             .filter(|(a, b)| (a.center() - b.center()).norm() > 1.0)
             .count();
-        assert!(moved > t0.len() / 2, "most obstacles should have moved: {moved}");
+        assert!(
+            moved > t0.len() / 2,
+            "most obstacles should have moved: {moved}"
+        );
     }
 
     #[test]
@@ -193,11 +196,7 @@ mod tests {
 
     #[test]
     fn planar_scene_stays_planar() {
-        let base = Scenario::generate(
-            Robot::mobile_2d(),
-            &ScenarioParams::with_obstacles(8),
-            2,
-        );
+        let base = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 2);
         let d = DynamicScenario::animate(base, 8.0, default_spin(), 2);
         for o in d.obstacles_at(17.2) {
             assert!(o.is_planar());
@@ -217,11 +216,7 @@ mod tests {
 
     #[test]
     fn spin_rotates_boxes() {
-        let base = Scenario::generate(
-            Robot::drone_3d(),
-            &ScenarioParams::with_obstacles(4),
-            7,
-        );
+        let base = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(4), 7);
         let mut d = DynamicScenario::animate(base, 0.0, 0.0, 7);
         d.movers[0].spin = 1.0;
         let r0 = d.movers[0].at(0.0).rotation();

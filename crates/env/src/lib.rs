@@ -55,7 +55,10 @@ pub struct ScenarioParams {
 impl ScenarioParams {
     /// Paper-default parameters with the given obstacle count.
     pub fn with_obstacles(obstacle_count: usize) -> Self {
-        ScenarioParams { obstacle_count, ..ScenarioParams::default() }
+        ScenarioParams {
+            obstacle_count,
+            ..ScenarioParams::default()
+        }
     }
 }
 
@@ -153,8 +156,8 @@ impl Scenario {
         let center = Vec3::new(mid, mid, if planar { 0.0 } else { mid });
         let thickness = 10.0; // wall half-thickness
         let half_len = WORKSPACE_EXTENT; // long enough to block flanking
-        // Walls run along u = (cos t, sin t); the slot lies between their
-        // near ends, centered on `center`.
+                                         // Walls run along u = (cos t, sin t); the slot lies between their
+                                         // near ends, centered on `center`.
         let u = Vec3::new(wall_tilt.cos(), wall_tilt.sin(), 0.0);
         let offset = half_len + gap / 2.0;
         let make_wall = |sign: f64| -> Obb {
@@ -195,7 +198,13 @@ impl Scenario {
                 (Config::new(&s), Config::new(&g))
             }
         };
-        Scenario { robot, obstacles, start, goal, seed: 0 }
+        Scenario {
+            robot,
+            obstacles,
+            start,
+            goal,
+            seed: 0,
+        }
     }
 
     /// Exact (all-pairs OBB–OBB) collision test for a single
@@ -203,10 +212,11 @@ impl Scenario {
     /// truth in tests. Planner-grade checking lives in `moped-collision`.
     pub fn config_collides(&self, q: &Config) -> bool {
         let mut scratch = OpCount::default();
-        self.robot
-            .body_obbs(q)
-            .iter()
-            .any(|body| self.obstacles.iter().any(|obs| sat::obb_obb(obs, body, &mut scratch)))
+        self.robot.body_obbs(q).iter().any(|body| {
+            self.obstacles
+                .iter()
+                .any(|obs| sat::obb_obb(obs, body, &mut scratch))
+        })
     }
 
     /// Rejection-samples a collision-free configuration.
@@ -316,8 +326,16 @@ mod tests {
     fn start_goal_are_collision_free_for_all_models() {
         for robot in Robot::all_models() {
             let s = Scenario::generate(robot, &ScenarioParams::with_obstacles(16), 9);
-            assert!(!s.config_collides(&s.start), "{} start collides", s.robot.name());
-            assert!(!s.config_collides(&s.goal), "{} goal collides", s.robot.name());
+            assert!(
+                !s.config_collides(&s.start),
+                "{} start collides",
+                s.robot.name()
+            );
+            assert!(
+                !s.config_collides(&s.goal),
+                "{} goal collides",
+                s.robot.name()
+            );
         }
     }
 

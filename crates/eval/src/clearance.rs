@@ -50,11 +50,19 @@ pub fn measure(
     }
     if per_pose.is_empty() {
         // No obstacles: clearance is unbounded; report infinity once.
-        return Some(ClearanceProfile { min: f64::INFINITY, mean: f64::INFINITY, per_pose });
+        return Some(ClearanceProfile {
+            min: f64::INFINITY,
+            mean: f64::INFINITY,
+            per_pose,
+        });
     }
     let min = per_pose.iter().copied().fold(f64::INFINITY, f64::min);
     let mean = per_pose.iter().sum::<f64>() / per_pose.len() as f64;
-    Some(ClearanceProfile { min, mean, per_pose })
+    Some(ClearanceProfile {
+        min,
+        mean,
+        per_pose,
+    })
 }
 
 #[cfg(test)]
@@ -66,12 +74,12 @@ mod tests {
 
     #[test]
     fn planned_paths_have_positive_clearance() {
-        let s = Scenario::generate(
-            Robot::mobile_2d(),
-            &ScenarioParams::with_obstacles(16),
-            33,
-        );
-        let params = PlannerParams { max_samples: 800, seed: 2, ..PlannerParams::default() };
+        let s = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(16), 33);
+        let params = PlannerParams {
+            max_samples: 800,
+            seed: 2,
+            ..PlannerParams::default()
+        };
         let r = plan_variant(&s, Variant::V4Lci, &params);
         if let Some(path) = &r.path {
             let steps = InterpolationSteps::with_resolution(2.0);
@@ -87,11 +95,7 @@ mod tests {
 
     #[test]
     fn empty_world_reports_unbounded_clearance() {
-        let mut s = Scenario::generate(
-            Robot::mobile_2d(),
-            &ScenarioParams::with_obstacles(8),
-            1,
-        );
+        let mut s = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 1);
         s.obstacles.clear();
         let path = vec![s.start, s.goal];
         let steps = InterpolationSteps::with_resolution(10.0);
@@ -101,24 +105,20 @@ mod tests {
 
     #[test]
     fn degenerate_path_returns_none() {
-        let s = Scenario::generate(
-            Robot::mobile_2d(),
-            &ScenarioParams::with_obstacles(8),
-            2,
-        );
+        let s = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 2);
         let steps = InterpolationSteps::default();
         assert!(measure(&s, &[s.start], &steps).is_none());
     }
 
     #[test]
     fn clearance_shrinks_in_narrow_passage() {
-        let open = Scenario::generate(
-            Robot::mobile_2d(),
-            &ScenarioParams::with_obstacles(4),
-            3,
-        );
+        let open = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(4), 3);
         let narrow = Scenario::narrow_passage(Robot::mobile_2d(), 30.0, 0.0);
-        let params = PlannerParams { max_samples: 2000, seed: 6, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 2000,
+            seed: 6,
+            ..PlannerParams::default()
+        };
         let ro = plan_variant(&open, Variant::V4Lci, &params);
         let rn = plan_variant(&narrow, Variant::V4Lci, &params);
         if let (Some(po), Some(pn)) = (&ro.path, &rn.path) {

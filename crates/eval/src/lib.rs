@@ -43,7 +43,13 @@ pub struct Stat {
 impl Stat {
     /// An empty accumulator.
     pub fn new() -> Stat {
-        Stat { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Stat {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds an observation.
@@ -149,9 +155,15 @@ impl Suite {
 
     /// Runs one variant over every task, aggregating the §V metrics.
     pub fn run(&self, variant: Variant, params: &PlannerParams) -> Summary {
-        let mut summary = Summary { variant, ..Summary::default() };
+        let mut summary = Summary {
+            variant,
+            ..Summary::default()
+        };
         for (i, s) in self.scenarios.iter().enumerate() {
-            let p = PlannerParams { seed: params.seed + i as u64, ..params.clone() };
+            let p = PlannerParams {
+                seed: params.seed + i as u64,
+                ..params.clone()
+            };
             let r = plan_variant(s, variant, &p);
             summary.absorb(&r);
         }
@@ -168,13 +180,22 @@ impl Suite {
         params: &PlannerParams,
     ) -> PairedComparison {
         let mut pc = PairedComparison {
-            baseline: Summary { variant: baseline, ..Summary::default() },
-            candidate: Summary { variant: candidate, ..Summary::default() },
+            baseline: Summary {
+                variant: baseline,
+                ..Summary::default()
+            },
+            candidate: Summary {
+                variant: candidate,
+                ..Summary::default()
+            },
             ops_ratio: Stat::new(),
             cost_ratio: Stat::new(),
         };
         for (i, s) in self.scenarios.iter().enumerate() {
-            let p = PlannerParams { seed: params.seed + i as u64, ..params.clone() };
+            let p = PlannerParams {
+                seed: params.seed + i as u64,
+                ..params.clone()
+            };
             let rb = plan_variant(s, baseline, &p);
             let rc = plan_variant(s, candidate, &p);
             let ops_b = rb.stats.total_ops().mac_equiv().max(1) as f64;
@@ -233,7 +254,8 @@ impl Summary {
         }
         self.total_macs.push(r.stats.total_ops().mac_equiv() as f64);
         self.ns_macs.push(r.stats.ns_ops.mac_equiv() as f64);
-        self.cc_macs.push(r.stats.collision.total_ops().mac_equiv() as f64);
+        self.cc_macs
+            .push(r.stats.collision.total_ops().mac_equiv() as f64);
     }
 
     /// Fraction of tasks solved.
@@ -266,7 +288,9 @@ mod tests {
 
     #[test]
     fn stat_mean_and_stddev() {
-        let s: Stat = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Stat = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.stddev() - 2.138089935299395).abs() < 1e-9);
         assert_eq!(s.min(), 2.0);
@@ -284,7 +308,11 @@ mod tests {
 
     #[test]
     fn suite_generation_is_deterministic() {
-        let cfg = SuiteConfig { tasks: 3, obstacles: 8, base_seed: 2 };
+        let cfg = SuiteConfig {
+            tasks: 3,
+            obstacles: 8,
+            base_seed: 2,
+        };
         let a = Suite::generate(Robot::mobile_2d(), &cfg);
         let b = Suite::generate(Robot::mobile_2d(), &cfg);
         for (x, y) in a.scenarios().iter().zip(b.scenarios()) {
@@ -295,9 +323,16 @@ mod tests {
 
     #[test]
     fn run_aggregates_all_tasks() {
-        let cfg = SuiteConfig { tasks: 3, obstacles: 8, base_seed: 4 };
+        let cfg = SuiteConfig {
+            tasks: 3,
+            obstacles: 8,
+            base_seed: 4,
+        };
         let suite = Suite::generate(Robot::mobile_2d(), &cfg);
-        let params = PlannerParams { max_samples: 250, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 250,
+            ..PlannerParams::default()
+        };
         let summary = suite.run(Variant::V4Lci, &params);
         assert_eq!(summary.runs, 3);
         assert_eq!(summary.total_macs.count(), 3);
@@ -307,9 +342,16 @@ mod tests {
 
     #[test]
     fn paired_comparison_shows_moped_saving() {
-        let cfg = SuiteConfig { tasks: 3, obstacles: 16, base_seed: 9 };
+        let cfg = SuiteConfig {
+            tasks: 3,
+            obstacles: 16,
+            base_seed: 9,
+        };
         let suite = Suite::generate(Robot::mobile_2d(), &cfg);
-        let params = PlannerParams { max_samples: 500, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 500,
+            ..PlannerParams::default()
+        };
         let pc = suite.compare(Variant::V0Baseline, Variant::V4Lci, &params);
         assert!(
             pc.ops_ratio.mean() > 2.0,

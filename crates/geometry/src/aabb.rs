@@ -48,8 +48,14 @@ impl Aabb {
     ///
     /// Panics if any halfwidth is negative.
     pub fn from_center_half(center: Vec3, half: Vec3) -> Self {
-        assert!(half.x >= 0.0 && half.y >= 0.0 && half.z >= 0.0, "negative halfwidth");
-        Aabb { min: center - half, max: center + half }
+        assert!(
+            half.x >= 0.0 && half.y >= 0.0 && half.z >= 0.0,
+            "negative halfwidth"
+        );
+        Aabb {
+            min: center - half,
+            max: center + half,
+        }
     }
 
     /// The tight AABB enclosing an [`Obb`] (how the obstacle AABB SRAM
@@ -93,7 +99,10 @@ impl Aabb {
 
     /// Smallest AABB containing both `self` and `other`.
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Volume (area in 2D workloads where z extent is constant).
@@ -136,7 +145,10 @@ impl Aabb {
     ///
     /// Panics if `margin` is negative enough to invert the box.
     pub fn inflated(&self, margin: f64) -> Aabb {
-        Aabb::new(self.min - Vec3::splat(margin), self.max + Vec3::splat(margin))
+        Aabb::new(
+            self.min - Vec3::splat(margin),
+            self.max + Vec3::splat(margin),
+        )
     }
 }
 

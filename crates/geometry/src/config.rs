@@ -47,7 +47,10 @@ impl Config {
         );
         let mut c = [0.0; MAX_DOF];
         c[..coords.len()].copy_from_slice(coords);
-        Config { coords: c, dim: coords.len() as u8 }
+        Config {
+            coords: c,
+            dim: coords.len() as u8,
+        }
     }
 
     /// The all-zero configuration of dimension `dim`.
@@ -57,7 +60,10 @@ impl Config {
     /// Panics if `dim` is 0 or exceeds [`MAX_DOF`].
     pub fn zeros(dim: usize) -> Self {
         assert!((1..=MAX_DOF).contains(&dim));
-        Config { coords: [0.0; MAX_DOF], dim: dim as u8 }
+        Config {
+            coords: [0.0; MAX_DOF],
+            dim: dim as u8,
+        }
     }
 
     /// Number of degrees of freedom.

@@ -139,7 +139,13 @@ fn closest_on_tetrahedron(simplex: &mut Vec<Vec3>, ops: &mut OpCount) -> Vec3 {
         // Outward test: does the origin lie on the far side of this face
         // from the remaining vertex?
         let rest = if f.contains(&d) {
-            if f.contains(&c) && f.contains(&b) { a } else if f.contains(&c) { b } else { c }
+            if f.contains(&c) && f.contains(&b) {
+                a
+            } else if f.contains(&c) {
+                b
+            } else {
+                c
+            }
         } else {
             d
         };
@@ -194,7 +200,11 @@ pub fn distance(a: &Obb, b: &Obb, ops: &mut OpCount) -> GjkResult {
     for it in 1..=64u32 {
         let d2 = closest.norm_sq();
         if d2 < eps {
-            return GjkResult { distance: 0.0, intersecting: true, iterations: it };
+            return GjkResult {
+                distance: 0.0,
+                intersecting: true,
+                iterations: it,
+            };
         }
         let new_dir = -closest;
         let s = support(a, b, new_dir, ops);
@@ -210,11 +220,19 @@ pub fn distance(a: &Obb, b: &Obb, ops: &mut OpCount) -> GjkResult {
         simplex.push(s);
         closest = closest_on_simplex(&mut simplex, ops);
         if simplex.len() == 4 && closest == Vec3::ZERO {
-            return GjkResult { distance: 0.0, intersecting: true, iterations: it };
+            return GjkResult {
+                distance: 0.0,
+                intersecting: true,
+                iterations: it,
+            };
         }
     }
     let d = closest.norm();
-    GjkResult { distance: d, intersecting: d < 1e-7, iterations: 64 }
+    GjkResult {
+        distance: d,
+        intersecting: d < 1e-7,
+        iterations: 64,
+    }
 }
 
 #[cfg(test)]
@@ -261,7 +279,11 @@ mod tests {
         );
         let r = distance(&a, &b, &mut OpCount::default());
         let expect = 5.0 - 1.0 - 2f64.sqrt();
-        assert!((r.distance - expect).abs() < 1e-6, "got {}, want {expect}", r.distance);
+        assert!(
+            (r.distance - expect).abs() < 1e-6,
+            "got {}, want {expect}",
+            r.distance
+        );
     }
 
     #[test]
@@ -293,7 +315,10 @@ mod tests {
                 disagreements += 1;
             }
         }
-        assert_eq!(disagreements, 0, "SAT and GJK must agree away from grazing contact");
+        assert_eq!(
+            disagreements, 0,
+            "SAT and GJK must agree away from grazing contact"
+        );
     }
 
     #[test]

@@ -33,11 +33,11 @@
 
 mod aabb;
 mod config;
+pub mod gjk;
 mod mat3;
 mod obb;
 mod ops;
 mod rect;
-pub mod gjk;
 pub mod sat;
 mod segment;
 mod vec3;

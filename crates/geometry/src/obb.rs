@@ -37,8 +37,16 @@ impl Obb {
     ///
     /// Panics if any halfwidth is negative.
     pub fn new(center: Vec3, half: Vec3, rot: Mat3) -> Self {
-        assert!(half.x >= 0.0 && half.y >= 0.0 && half.z >= 0.0, "negative halfwidth");
-        Obb { center, half, rot, planar: false }
+        assert!(
+            half.x >= 0.0 && half.y >= 0.0 && half.z >= 0.0,
+            "negative halfwidth"
+        );
+        Obb {
+            center,
+            half,
+            rot,
+            planar: false,
+        }
     }
 
     /// Creates an axis-aligned OBB (identity rotation).
@@ -105,7 +113,11 @@ impl Obb {
 
     /// Returns a copy with orientation `rot` (clears nothing else).
     pub fn with_rotation(&self, rot: Mat3) -> Obb {
-        Obb { rot, planar: self.planar, ..*self }
+        Obb {
+            rot,
+            planar: self.planar,
+            ..*self
+        }
     }
 
     /// The 8 world-space corners.

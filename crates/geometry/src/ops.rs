@@ -143,13 +143,27 @@ mod tests {
 
     #[test]
     fn mac_equiv_weights() {
-        let c = OpCount { mul: 1, add: 2, cmp: 3, sqrt: 1, ..OpCount::ZERO };
+        let c = OpCount {
+            mul: 1,
+            add: 2,
+            cmp: 3,
+            sqrt: 1,
+            ..OpCount::ZERO
+        };
         assert_eq!(c.mac_equiv(), 1 + 2 + 3 + 8);
     }
 
     #[test]
     fn addition_is_componentwise() {
-        let a = OpCount { mul: 1, add: 2, cmp: 3, sqrt: 4, dist_calcs: 5, sat_queries: 6, mem_words: 7 };
+        let a = OpCount {
+            mul: 1,
+            add: 2,
+            cmp: 3,
+            sqrt: 4,
+            dist_calcs: 5,
+            sat_queries: 6,
+            mem_words: 7,
+        };
         let s = a + a;
         assert_eq!(s.mul, 2);
         assert_eq!(s.mem_words, 14);
@@ -157,8 +171,14 @@ mod tests {
 
     #[test]
     fn subtraction_saturates() {
-        let a = OpCount { mul: 1, ..OpCount::ZERO };
-        let b = OpCount { mul: 5, ..OpCount::ZERO };
+        let a = OpCount {
+            mul: 1,
+            ..OpCount::ZERO
+        };
+        let b = OpCount {
+            mul: 5,
+            ..OpCount::ZERO
+        };
         assert_eq!((a - b).mul, 0);
         assert_eq!((b - a).mul, 4);
     }
@@ -166,9 +186,18 @@ mod tests {
     #[test]
     fn sum_over_iterator() {
         let parts = vec![
-            OpCount { mul: 1, ..OpCount::ZERO },
-            OpCount { mul: 2, ..OpCount::ZERO },
-            OpCount { mul: 3, ..OpCount::ZERO },
+            OpCount {
+                mul: 1,
+                ..OpCount::ZERO
+            },
+            OpCount {
+                mul: 2,
+                ..OpCount::ZERO
+            },
+            OpCount {
+                mul: 3,
+                ..OpCount::ZERO
+            },
         ];
         let total: OpCount = parts.into_iter().sum();
         assert_eq!(total.mul, 6);
@@ -176,7 +205,11 @@ mod tests {
 
     #[test]
     fn reset_clears() {
-        let mut a = OpCount { mul: 9, sqrt: 9, ..OpCount::ZERO };
+        let mut a = OpCount {
+            mul: 9,
+            sqrt: 9,
+            ..OpCount::ZERO
+        };
         a.reset();
         assert_eq!(a, OpCount::ZERO);
     }

@@ -176,7 +176,12 @@ impl Rect {
 
 impl fmt::Debug for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Rect[{:?}..{:?}]", self.lo.as_slice(), self.hi.as_slice())
+        write!(
+            f,
+            "Rect[{:?}..{:?}]",
+            self.lo.as_slice(),
+            self.hi.as_slice()
+        )
     }
 }
 
@@ -284,7 +289,9 @@ mod tests {
 
     #[test]
     fn collect_points_into_rect() {
-        let r: Rect = vec![c2(1.0, 5.0), c2(-1.0, 2.0), c2(0.0, 7.0)].into_iter().collect();
+        let r: Rect = vec![c2(1.0, 5.0), c2(-1.0, 2.0), c2(0.0, 7.0)]
+            .into_iter()
+            .collect();
         assert_eq!(r.lo().as_slice(), &[-1.0, 2.0]);
         assert_eq!(r.hi().as_slice(), &[1.0, 7.0]);
     }

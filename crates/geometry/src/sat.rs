@@ -385,15 +385,12 @@ mod tests {
     fn edge_edge_separation_needs_cross_axes() {
         // Classic case where only a cross-product axis separates:
         // two long thin boxes skewed in 3D.
-        let a = Obb::new(
-            Vec3::ZERO,
-            Vec3::new(10.0, 0.1, 0.1),
-            Mat3::IDENTITY,
-        );
+        let a = Obb::new(Vec3::ZERO, Vec3::new(10.0, 0.1, 0.1), Mat3::IDENTITY);
         let b = Obb::new(
             Vec3::new(0.0, 0.5, 0.5),
             Vec3::new(10.0, 0.1, 0.1),
-            Mat3::rotation_z(std::f64::consts::FRAC_PI_2) * Mat3::rotation_x(std::f64::consts::FRAC_PI_4),
+            Mat3::rotation_z(std::f64::consts::FRAC_PI_2)
+                * Mat3::rotation_x(std::f64::consts::FRAC_PI_4),
         );
         let mut ops = OpCount::default();
         let hit = obb_obb(&a, &b, &mut ops);
@@ -470,7 +467,13 @@ mod tests {
     #[test]
     fn symmetry_of_sat() {
         let a = Obb::from_euler(Vec3::ZERO, Vec3::new(2.0, 1.0, 0.5), 0.3, 0.6, -0.2);
-        let b = Obb::from_euler(Vec3::new(1.5, 1.0, 0.2), Vec3::new(0.5, 1.5, 1.0), -0.7, 0.1, 0.9);
+        let b = Obb::from_euler(
+            Vec3::new(1.5, 1.0, 0.2),
+            Vec3::new(0.5, 1.5, 1.0),
+            -0.7,
+            0.1,
+            0.9,
+        );
         let mut ops = OpCount::default();
         assert_eq!(obb_obb(&a, &b, &mut ops), obb_obb(&b, &a, &mut ops));
     }
@@ -479,7 +482,13 @@ mod tests {
     fn aabb_obb_conservative_wrt_exact() {
         // If AABB-stage says free, the exact OBB-OBB on the *enclosed*
         // obstacle must also be free. Model: obstacle OBB inside its AABB.
-        let obstacle = Obb::from_euler(Vec3::new(5.0, 5.0, 5.0), Vec3::new(2.0, 1.0, 1.0), 0.7, 0.2, 0.1);
+        let obstacle = Obb::from_euler(
+            Vec3::new(5.0, 5.0, 5.0),
+            Vec3::new(2.0, 1.0, 1.0),
+            0.7,
+            0.2,
+            0.1,
+        );
         let relax = obstacle.aabb();
         let robot = Obb::from_euler(Vec3::new(9.5, 5.0, 5.0), Vec3::splat(1.0), 0.1, 0.0, 0.0);
         let mut ops = OpCount::default();

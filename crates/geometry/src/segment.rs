@@ -27,7 +27,10 @@ impl InterpolationSteps {
     /// Panics if `resolution` is not strictly positive.
     pub fn with_resolution(resolution: f64) -> Self {
         assert!(resolution > 0.0, "resolution must be positive");
-        InterpolationSteps { resolution, max_steps: 64 }
+        InterpolationSteps {
+            resolution,
+            max_steps: 64,
+        }
     }
 
     /// Number of poses (including the endpoint, excluding the start) that
@@ -65,9 +68,7 @@ impl Default for InterpolationSteps {
 pub fn interpolate(from: &Config, to: &Config, steps: &InterpolationSteps) -> Vec<Config> {
     let dist = from.distance(to);
     let n = steps.count(dist);
-    let mut poses: Vec<Config> = (1..n)
-        .map(|i| from.lerp(to, i as f64 / n as f64))
-        .collect();
+    let mut poses: Vec<Config> = (1..n).map(|i| from.lerp(to, i as f64 / n as f64)).collect();
     // Emit the endpoint exactly rather than via lerp(.., 1.0), which can
     // differ by an ULP and would make the planner store a drifted node.
     poses.push(*to);
@@ -111,7 +112,10 @@ mod tests {
     fn max_steps_caps_pose_count() {
         let a = Config::new(&[0.0]);
         let b = Config::new(&[1e9]);
-        let policy = InterpolationSteps { resolution: 1.0, max_steps: 16 };
+        let policy = InterpolationSteps {
+            resolution: 1.0,
+            max_steps: 16,
+        };
         assert_eq!(interpolate(&a, &b, &policy).len(), 16);
     }
 

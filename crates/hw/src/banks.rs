@@ -146,15 +146,24 @@ pub fn round_streams(
     vec![
         Stream {
             name: "speculative-search",
-            requests: vec![Request { bank: bank_ids::BOTTOM_NS, words: search_words }],
+            requests: vec![Request {
+                bank: bank_ids::BOTTOM_NS,
+                words: search_words,
+            }],
         },
         Stream {
             name: "si-mbr-insert",
-            requests: vec![Request { bank: insert_bank, words: insert_words }],
+            requests: vec![Request {
+                bank: insert_bank,
+                words: insert_words,
+            }],
         },
         Stream {
             name: "refinement-reads",
-            requests: vec![Request { bank: refine_bank, words: refine_words }],
+            requests: vec![Request {
+                bank: refine_bank,
+                words: refine_words,
+            }],
         },
     ]
 }
@@ -166,8 +175,20 @@ mod tests {
     #[test]
     fn disjoint_banks_run_fully_parallel() {
         let streams = vec![
-            Stream { name: "a", requests: vec![Request { bank: 0, words: 100 }] },
-            Stream { name: "b", requests: vec![Request { bank: 1, words: 100 }] },
+            Stream {
+                name: "a",
+                requests: vec![Request {
+                    bank: 0,
+                    words: 100,
+                }],
+            },
+            Stream {
+                name: "b",
+                requests: vec![Request {
+                    bank: 1,
+                    words: 100,
+                }],
+            },
         ];
         let rep = simulate(&streams, 2);
         assert_eq!(rep.cycles, 100);
@@ -177,8 +198,20 @@ mod tests {
     #[test]
     fn same_bank_serializes() {
         let streams = vec![
-            Stream { name: "a", requests: vec![Request { bank: 0, words: 100 }] },
-            Stream { name: "b", requests: vec![Request { bank: 0, words: 100 }] },
+            Stream {
+                name: "a",
+                requests: vec![Request {
+                    bank: 0,
+                    words: 100,
+                }],
+            },
+            Stream {
+                name: "b",
+                requests: vec![Request {
+                    bank: 0,
+                    words: 100,
+                }],
+            },
         ];
         let rep = simulate(&streams, 1);
         assert_eq!(rep.cycles, 200, "single port must serialize");
@@ -188,13 +221,28 @@ mod tests {
     #[test]
     fn round_robin_is_fair() {
         let streams = vec![
-            Stream { name: "a", requests: vec![Request { bank: 0, words: 300 }] },
-            Stream { name: "b", requests: vec![Request { bank: 0, words: 300 }] },
+            Stream {
+                name: "a",
+                requests: vec![Request {
+                    bank: 0,
+                    words: 300,
+                }],
+            },
+            Stream {
+                name: "b",
+                requests: vec![Request {
+                    bank: 0,
+                    words: 300,
+                }],
+            },
         ];
         let rep = simulate(&streams, 1);
         let a = rep.stalls[0].1 as f64;
         let b = rep.stalls[1].1 as f64;
-        assert!((a - b).abs() / a.max(b) < 0.05, "stalls should split evenly: {a} vs {b}");
+        assert!(
+            (a - b).abs() / a.max(b) < 0.05,
+            "stalls should split evenly: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -202,7 +250,11 @@ mod tests {
         let uncached = simulate(&round_streams(400, 120, 90, false), bank_ids::COUNT);
         let cached = simulate(&round_streams(400, 120, 90, true), bank_ids::COUNT);
         assert!(uncached.total_stalls() > 0, "shared bank must conflict");
-        assert_eq!(cached.total_stalls(), 0, "caches route around the shared bank");
+        assert_eq!(
+            cached.total_stalls(),
+            0,
+            "caches route around the shared bank"
+        );
         assert!(cached.cycles < uncached.cycles);
         // With caches, latency collapses to the critical stream.
         assert_eq!(cached.cycles, cached.critical_stream_cycles);
@@ -219,7 +271,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_bank_rejected() {
-        let streams = vec![Stream { name: "x", requests: vec![Request { bank: 5, words: 1 }] }];
+        let streams = vec![Stream {
+            name: "x",
+            requests: vec![Request { bank: 5, words: 1 }],
+        }];
         let _ = simulate(&streams, 2);
     }
 }

@@ -72,7 +72,11 @@ pub struct CacheConfig {
 impl Default for CacheConfig {
     /// Two cached top levels; 7-DoF worst-case node payload.
     fn default() -> Self {
-        CacheConfig { cached_levels: 2, words_per_node: 15, neighborhood_entries: 6 }
+        CacheConfig {
+            cached_levels: 2,
+            words_per_node: 15,
+            neighborhood_entries: 6,
+        }
     }
 }
 
@@ -97,8 +101,7 @@ pub fn apply(stats: &SearchStats, accepted_rounds: u64, cfg: &CacheConfig) -> Ca
     report.neighborhood_words_saved =
         accepted_rounds * cfg.neighborhood_entries * cfg.words_per_node;
 
-    let total_visit_words =
-        (report.unit_hits + report.unit_misses) * cfg.words_per_node;
+    let total_visit_words = (report.unit_hits + report.unit_misses) * cfg.words_per_node;
     let reread_words = report.trace_words_saved + report.neighborhood_words_saved;
     report.energy_uncached_j =
         (total_visit_words + reread_words) as f64 * params::SRAM_WORD_ENERGY_J;
@@ -148,8 +151,22 @@ mod tests {
     #[test]
     fn deeper_cache_config_saves_more() {
         let s = stats_with_depths(&[100, 200, 400, 800, 1600]);
-        let shallow = apply(&s, 100, &CacheConfig { cached_levels: 1, ..CacheConfig::default() });
-        let deep = apply(&s, 100, &CacheConfig { cached_levels: 4, ..CacheConfig::default() });
+        let shallow = apply(
+            &s,
+            100,
+            &CacheConfig {
+                cached_levels: 1,
+                ..CacheConfig::default()
+            },
+        );
+        let deep = apply(
+            &s,
+            100,
+            &CacheConfig {
+                cached_levels: 4,
+                ..CacheConfig::default()
+            },
+        );
         assert!(deep.energy_cached_j < shallow.energy_cached_j);
         assert!(deep.unit_hit_rate() > shallow.unit_hit_rate());
     }

@@ -39,7 +39,12 @@ impl LruCache {
     /// Panics if either dimension is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "cache dimensions must be positive");
-        LruCache { sets: vec![VecDeque::new(); sets], ways, hits: 0, misses: 0 }
+        LruCache {
+            sets: vec![VecDeque::new(); sets],
+            ways,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Total capacity in node records.
@@ -192,7 +197,11 @@ mod tests {
             trace.push(100 + i);
         }
         let rep = replay(&trace, 16, 4, 15);
-        assert!(rep.hit_rate > 0.5, "root-heavy trace should hit: {}", rep.hit_rate);
+        assert!(
+            rep.hit_rate > 0.5,
+            "root-heavy trace should hit: {}",
+            rep.hit_rate
+        );
         assert!(rep.energy_saving() > 1.0);
     }
 

@@ -34,7 +34,12 @@ impl DesignPoint {
     pub fn new(macs: usize, banks: Vec<SramBank>, activity: f64, words_per_cycle: f64) -> Self {
         assert!(macs > 0, "need at least one MAC");
         assert!(activity > 0.0 && activity <= 1.0, "activity in (0,1]");
-        DesignPoint { macs, banks, activity, words_per_cycle }
+        DesignPoint {
+            macs,
+            banks,
+            activity,
+            words_per_cycle,
+        }
     }
 
     /// Number of MAC units.
@@ -60,8 +65,7 @@ impl DesignPoint {
     /// Average power at the nominal clock (watts): switching MACs plus
     /// SRAM traffic plus leakage.
     pub fn power_w(&self) -> f64 {
-        let mac_dyn =
-            self.macs as f64 * self.activity * params::MAC_ENERGY_J * params::CLOCK_HZ;
+        let mac_dyn = self.macs as f64 * self.activity * params::MAC_ENERGY_J * params::CLOCK_HZ;
         let mem_dyn = self.words_per_cycle * params::SRAM_WORD_ENERGY_J * params::CLOCK_HZ;
         mac_dyn + mem_dyn + params::LEAKAGE_W
     }
@@ -77,22 +81,46 @@ impl Default for DesignPoint {
             vec![
                 // Exploration-tree node coordinates: 5000 nodes × 8 DoF ×
                 // 16 bit ≈ 80 KB.
-                SramBank { name: "EXP Node SRAM", kb: 80.0 },
+                SramBank {
+                    name: "EXP Node SRAM",
+                    kb: 80.0,
+                },
                 // SI-MBR-Tree bottom levels (MBRs + leaf pointers).
-                SramBank { name: "Bottom NS SRAM", kb: 64.0 },
+                SramBank {
+                    name: "Bottom NS SRAM",
+                    kb: 64.0,
+                },
                 // Cached top levels of the SI-MBR-Tree.
-                SramBank { name: "Top NS Cache", kb: 4.0 },
+                SramBank {
+                    name: "Top NS Cache",
+                    kb: 4.0,
+                },
                 // OBB-format obstacles (48 × 15 words is tiny; sized for
                 // headroom and double buffering).
-                SramBank { name: "Obstacle OBB SRAM", kb: 8.0 },
+                SramBank {
+                    name: "Obstacle OBB SRAM",
+                    kb: 8.0,
+                },
                 // AABB-relaxed obstacle R-tree.
-                SramBank { name: "Obstacle AABB SRAM", kb: 8.0 },
+                SramBank {
+                    name: "Obstacle AABB SRAM",
+                    kb: 8.0,
+                },
                 // EXP-tree structure: parent links + path costs.
-                SramBank { name: "EXP Struct SRAM", kb: 24.0 },
+                SramBank {
+                    name: "EXP Struct SRAM",
+                    kb: 24.0,
+                },
                 // Neighborhood cache shared with the refinement module.
-                SramBank { name: "Neighborhood Cache", kb: 8.0 },
+                SramBank {
+                    name: "Neighborhood Cache",
+                    kb: 8.0,
+                },
                 // S&R FIFO + Missing Neighbors Buffer (0.75 KB) + misc.
-                SramBank { name: "S&R Buffers", kb: 2.0 },
+                SramBank {
+                    name: "S&R Buffers",
+                    kb: 2.0,
+                },
             ],
             0.8,
             30.5,
@@ -108,7 +136,11 @@ mod tests {
     fn default_matches_paper_budget() {
         let d = DesignPoint::default();
         assert_eq!(d.macs(), 168);
-        assert!((d.sram_kb() - 198.0).abs() < 1e-9, "SRAM budget {}", d.sram_kb());
+        assert!(
+            (d.sram_kb() - 198.0).abs() < 1e-9,
+            "SRAM budget {}",
+            d.sram_kb()
+        );
     }
 
     #[test]
@@ -134,8 +166,24 @@ mod tests {
 
     #[test]
     fn area_scales_with_macs_and_sram() {
-        let small = DesignPoint::new(64, vec![SramBank { name: "m", kb: 32.0 }], 0.5, 4.0);
-        let big = DesignPoint::new(256, vec![SramBank { name: "m", kb: 256.0 }], 0.5, 4.0);
+        let small = DesignPoint::new(
+            64,
+            vec![SramBank {
+                name: "m",
+                kb: 32.0,
+            }],
+            0.5,
+            4.0,
+        );
+        let big = DesignPoint::new(
+            256,
+            vec![SramBank {
+                name: "m",
+                kb: 256.0,
+            }],
+            0.5,
+            4.0,
+        );
         assert!(big.area_mm2() > small.area_mm2());
     }
 
@@ -154,8 +202,7 @@ mod tests {
     #[test]
     fn bank_names_are_unique() {
         let d = DesignPoint::default();
-        let names: std::collections::HashSet<&str> =
-            d.banks().iter().map(|b| b.name).collect();
+        let names: std::collections::HashSet<&str> = d.banks().iter().map(|b| b.name).collect();
         assert_eq!(names.len(), d.banks().len());
     }
 }

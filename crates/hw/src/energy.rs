@@ -39,7 +39,12 @@ impl EnergyBreakdown {
     /// `(ns, cc, refine, insert)`.
     pub fn datapath_shares(&self) -> (f64, f64, f64, f64) {
         let t = self.total_j().max(f64::MIN_POSITIVE);
-        (self.ns_j / t, self.cc_j / t, self.refine_j / t, self.insert_j / t)
+        (
+            self.ns_j / t,
+            self.cc_j / t,
+            self.refine_j / t,
+            self.insert_j / t,
+        )
     }
 }
 
@@ -54,7 +59,10 @@ impl EnergyBreakdown {
 ///
 /// Panics if `stats` has no round trace.
 pub fn breakdown(stats: &PlanStats, design: &DesignPoint, cache_fraction: f64) -> EnergyBreakdown {
-    assert!(!stats.rounds.is_empty(), "energy breakdown needs a per-round trace");
+    assert!(
+        !stats.rounds.is_empty(),
+        "energy breakdown needs a per-round trace"
+    );
     let mut ns = 0u64;
     let mut cc = 0u64;
     let mut refine = 0u64;

@@ -43,7 +43,10 @@ pub struct EngineReport {
 /// Uses `Variant::V0Baseline` for the CPU/ASIC/CODAcc baselines and
 /// `Variant::V4Lci` for the MOPED engine, both traced, on the same seed.
 pub fn evaluate(scenario: &Scenario, params: &PlannerParams, design: &DesignPoint) -> EngineReport {
-    let traced = PlannerParams { trace_rounds: true, ..params.clone() };
+    let traced = PlannerParams {
+        trace_rounds: true,
+        ..params.clone()
+    };
     let base = plan_variant(scenario, Variant::V0Baseline, &traced);
     let moped = plan_variant(scenario, Variant::V4Lci, &traced);
 
@@ -88,7 +91,11 @@ mod tests {
     #[test]
     fn full_evaluation_is_coherent() {
         let s = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(16), 44);
-        let params = PlannerParams { max_samples: 250, seed: 1, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 250,
+            seed: 1,
+            ..PlannerParams::default()
+        };
         let rep = evaluate(&s, &params, &DesignPoint::default());
         assert!(rep.moped.latency_s > 0.0);
         assert!(rep.pipeline.speedup() >= 1.0);
@@ -102,7 +109,11 @@ mod tests {
     #[test]
     fn evaluation_is_deterministic() {
         let s = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 2);
-        let params = PlannerParams { max_samples: 150, seed: 9, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 150,
+            seed: 9,
+            ..PlannerParams::default()
+        };
         let a = evaluate(&s, &params, &DesignPoint::default());
         let b = evaluate(&s, &params, &DesignPoint::default());
         assert_eq!(a.moped.latency_s.to_bits(), b.moped.latency_s.to_bits());

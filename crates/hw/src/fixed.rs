@@ -51,7 +51,9 @@ impl QFormat {
     /// (saturating at the format limits).
     pub fn quantize(&self, v: f64) -> i16 {
         let scaled = v * f64::from(1u32 << self.frac_bits);
-        scaled.round().clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+        scaled
+            .round()
+            .clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
     }
 
     /// Decodes a fixed-point code back to `f64`.

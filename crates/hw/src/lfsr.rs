@@ -33,7 +33,9 @@ impl Lfsr16 {
     /// remapped to a fixed non-zero constant, since the all-zero state is
     /// a fixed point of the recurrence).
     pub fn new(seed: u16) -> Self {
-        Lfsr16 { state: if seed == 0 { 0xACE1 } else { seed } }
+        Lfsr16 {
+            state: if seed == 0 { 0xACE1 } else { seed },
+        }
     }
 
     /// Advances one step and returns the new state.
@@ -81,7 +83,11 @@ impl ConfigSampler {
     ///
     /// Panics if the sampler's channel count differs from the robot's DoF.
     pub fn sample(&mut self, robot: &Robot) -> Config {
-        assert_eq!(self.channels.len(), robot.dof(), "sampler/robot DoF mismatch");
+        assert_eq!(
+            self.channels.len(),
+            robot.dof(),
+            "sampler/robot DoF mismatch"
+        );
         let unit: Vec<f64> = self.channels.iter_mut().map(Lfsr16::next_unit).collect();
         robot.config_from_unit(&unit)
     }

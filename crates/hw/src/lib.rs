@@ -34,8 +34,8 @@ pub mod banks;
 pub mod cache;
 pub mod cachesim;
 pub mod design;
-pub mod engine;
 pub mod energy;
+pub mod engine;
 pub mod fixed;
 pub mod lfsr;
 pub mod params;

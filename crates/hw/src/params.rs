@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn lane_allocation_sums_to_total() {
-        assert_eq!(lanes::NS + lanes::CC + lanes::REFINE + lanes::TREE_OP, TOTAL_MACS);
+        assert_eq!(
+            lanes::NS + lanes::CC + lanes::REFINE + lanes::TREE_OP,
+            TOTAL_MACS
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ pub fn moped_report(stats: &PlanStats, design: &DesignPoint) -> HwReport {
     // 137.5 mW figure already folds in datapath activity, the cached
     // memory hierarchy, and leakage).
     let energy_j = design.power_w() * latency_s;
-    HwReport { latency_s, energy_j, area_mm2: design.area_mm2() }
+    HwReport {
+        latency_s,
+        energy_j,
+        area_mm2: design.area_mm2(),
+    }
 }
 
 /// MOPED without S&R (the ablation Fig 17 normalizes against): identical
@@ -100,7 +104,11 @@ pub fn moped_serial_report(stats: &PlanStats, design: &DesignPoint) -> HwReport 
     let pipe = pipeline::simulate(&rounds);
     let latency_s = pipe.serial_cycles as f64 / params::CLOCK_HZ;
     let energy_j = design.power_w() * latency_s;
-    HwReport { latency_s, energy_j, area_mm2: design.area_mm2() }
+    HwReport {
+        latency_s,
+        energy_j,
+        area_mm2: design.area_mm2(),
+    }
 }
 
 /// CPU baseline: the V0 workload executed as scalar instructions, with
@@ -145,18 +153,18 @@ pub fn rrt_asic_report(baseline_stats: &PlanStats, design: &DesignPoint) -> HwRe
     // Same silicon budget, no cache hierarchy: charge a modestly higher
     // average power (uncached SRAM traffic) than the MOPED design point.
     let energy_j = design.power_w() * 1.1 * latency_s;
-    HwReport { latency_s, energy_j, area_mm2: design.area_mm2() }
+    HwReport {
+        latency_s,
+        energy_j,
+        area_mm2: design.area_mm2(),
+    }
 }
 
 /// RRT\* ASIC + CODAcc (\[4\]): collision checking is served by four
 /// occupancy-grid units (cost proportional to the robot-body cell volume
 /// per checked pose); neighbor search and refinement arithmetic are
 /// unchanged from the RRT\* ASIC.
-pub fn codacc_report(
-    baseline_stats: &PlanStats,
-    robot: &Robot,
-    design: &DesignPoint,
-) -> HwReport {
+pub fn codacc_report(baseline_stats: &PlanStats, robot: &Robot, design: &DesignPoint) -> HwReport {
     assert!(!baseline_stats.rounds.is_empty(), "needs a per-round trace");
     // Cells a single pose check must visit: the body AABB volume at grid
     // resolution, summed over bodies.
@@ -173,8 +181,7 @@ pub fn codacc_report(
             }
         })
         .sum();
-    let cell_rate =
-        params::codacc::UNITS as f64 * params::codacc::CELLS_PER_CYCLE_PER_UNIT;
+    let cell_rate = params::codacc::UNITS as f64 * params::codacc::CELLS_PER_CYCLE_PER_UNIT;
     let poses = baseline_stats.collision.pose_queries as f64;
     let cc_cycles_total = poses * cells_per_pose / cell_rate;
     // Distribute grid-check cycles across rounds proportional to each
@@ -217,7 +224,13 @@ fn neutral_config(robot: &Robot) -> moped_geometry::Config {
 
 /// Convenience: a synthetic uniform round trace (for tests and quick
 /// what-if sweeps without running a planner).
-pub fn synthetic_trace(rounds: usize, ns: u64, cc: u64, refine: u64, insert: u64) -> Vec<RoundTrace> {
+pub fn synthetic_trace(
+    rounds: usize,
+    ns: u64,
+    cc: u64,
+    refine: u64,
+    insert: u64,
+) -> Vec<RoundTrace> {
     vec![
         RoundTrace {
             ns_macs: ns,
@@ -253,11 +266,7 @@ mod tests {
     }
 
     fn workload() -> (Scenario, PlanStats, PlanStats) {
-        let s = Scenario::generate(
-            Robot::drone_3d(),
-            &ScenarioParams::with_obstacles(16),
-            31,
-        );
+        let s = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(16), 31);
         let base = plan_variant(&s, Variant::V0Baseline, &traced_params(250, 9)).stats;
         let moped = plan_variant(&s, Variant::V4Lci, &traced_params(250, 9)).stats;
         (s, base, moped)
@@ -276,9 +285,21 @@ mod tests {
         let vs_asic = compare(&m, &asic);
         let vs_cod = compare(&m, &cod);
 
-        assert!(vs_cpu.speedup > 100.0, "CPU speedup too small: {:.1}", vs_cpu.speedup);
-        assert!(vs_asic.speedup > 1.5, "ASIC speedup too small: {:.2}", vs_asic.speedup);
-        assert!(vs_cod.speedup > 1.0, "CODAcc speedup too small: {:.2}", vs_cod.speedup);
+        assert!(
+            vs_cpu.speedup > 100.0,
+            "CPU speedup too small: {:.1}",
+            vs_cpu.speedup
+        );
+        assert!(
+            vs_asic.speedup > 1.5,
+            "ASIC speedup too small: {:.2}",
+            vs_asic.speedup
+        );
+        assert!(
+            vs_cod.speedup > 1.0,
+            "CODAcc speedup too small: {:.2}",
+            vs_cod.speedup
+        );
         assert!(vs_cpu.energy_efficiency_gain > 100.0);
         assert!(vs_asic.energy_efficiency_gain > 1.0);
     }
@@ -308,7 +329,11 @@ mod tests {
 
     #[test]
     fn report_efficiencies_are_consistent() {
-        let r = HwReport { latency_s: 0.5e-3, energy_j: 70e-6, area_mm2: 0.62 };
+        let r = HwReport {
+            latency_s: 0.5e-3,
+            energy_j: 70e-6,
+            area_mm2: 0.62,
+        };
         assert!((r.throughput() - 2000.0).abs() < 1e-6);
         assert!((r.energy_efficiency() - 1.0 / 70e-6).abs() < 1.0);
         assert!((r.area_efficiency() - 2000.0 / 0.62).abs() < 1e-6);

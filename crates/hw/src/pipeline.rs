@@ -186,12 +186,19 @@ pub struct EquivalenceReport {
 /// nodes* (in flight in the pipeline), then repaired by comparing against
 /// those pending nodes — exactly the §IV-B rule. The two must agree on
 /// every round.
-pub fn verify_equivalence(scenario: &Scenario, params_: &PlannerParams, lag: usize) -> EquivalenceReport {
+pub fn verify_equivalence(
+    scenario: &Scenario,
+    params_: &PlannerParams,
+    lag: usize,
+) -> EquivalenceReport {
     let dof = scenario.robot.dof();
     let mut rng = StdRng::seed_from_u64(params_.seed);
     let mut tree = SiMbrTree::new(dof, 6);
     let mut ops = OpCount::default();
-    let mut report = EquivalenceReport { equivalent: true, ..Default::default() };
+    let mut report = EquivalenceReport {
+        equivalent: true,
+        ..Default::default()
+    };
 
     // Pending nodes: inserted into the "architectural" tree but not yet
     // visible to the speculative searcher.
@@ -380,7 +387,11 @@ mod tests {
         // just-inserted node is regularly the true nearest — the repair
         // path must trigger.
         let s = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(8), 5);
-        let p = PlannerParams { max_samples: 300, seed: 3, ..PlannerParams::default() };
+        let p = PlannerParams {
+            max_samples: 300,
+            seed: 3,
+            ..PlannerParams::default()
+        };
         let rep = verify_equivalence(&s, &p, 1);
         assert!(rep.repairs > 0, "expected some repaired rounds: {rep:?}");
         assert!(rep.speculation_correct > 0);

@@ -38,9 +38,21 @@ impl QObb {
             center: [ws.quantize(c.x), ws.quantize(c.y), ws.quantize(c.z)],
             half: [ws.quantize(h.x), ws.quantize(h.y), ws.quantize(h.z)],
             rot: [
-                [ang.quantize(r.m[0][0]), ang.quantize(r.m[0][1]), ang.quantize(r.m[0][2])],
-                [ang.quantize(r.m[1][0]), ang.quantize(r.m[1][1]), ang.quantize(r.m[1][2])],
-                [ang.quantize(r.m[2][0]), ang.quantize(r.m[2][1]), ang.quantize(r.m[2][2])],
+                [
+                    ang.quantize(r.m[0][0]),
+                    ang.quantize(r.m[0][1]),
+                    ang.quantize(r.m[0][2]),
+                ],
+                [
+                    ang.quantize(r.m[1][0]),
+                    ang.quantize(r.m[1][1]),
+                    ang.quantize(r.m[1][2]),
+                ],
+                [
+                    ang.quantize(r.m[2][0]),
+                    ang.quantize(r.m[2][1]),
+                    ang.quantize(r.m[2][2]),
+                ],
             ],
         }
     }
@@ -127,8 +139,16 @@ pub fn obb_obb_q(a: &QObb, b: &QObb, ops: &mut OpCount) -> bool {
     };
     ops.add += 9;
 
-    let ha = [i64::from(a.half[0]), i64::from(a.half[1]), i64::from(a.half[2])];
-    let hb = [i64::from(b.half[0]), i64::from(b.half[1]), i64::from(b.half[2])];
+    let ha = [
+        i64::from(a.half[0]),
+        i64::from(a.half[1]),
+        i64::from(a.half[2]),
+    ];
+    let hb = [
+        i64::from(b.half[0]),
+        i64::from(b.half[1]),
+        i64::from(b.half[2]),
+    ];
 
     // Axis class 1: A's axes. ra is Q9.6; rb is Q9.6×Q4.26 → Q13.32;
     // t is Q11.19. Align everything to frac = 6+26 = 32.
@@ -329,7 +349,11 @@ mod tests {
             );
             let b = Obb::new(
                 a.center()
-                    + Vec3::new(rnd() * 40.0 - 20.0, rnd() * 40.0 - 20.0, rnd() * 40.0 - 20.0),
+                    + Vec3::new(
+                        rnd() * 40.0 - 20.0,
+                        rnd() * 40.0 - 20.0,
+                        rnd() * 40.0 - 20.0,
+                    ),
                 Vec3::new(1.0 + rnd() * 10.0, 1.0 + rnd() * 10.0, 1.0 + rnd() * 10.0),
                 Mat3::from_euler(rnd() * 6.0 - 3.0, rnd() * 3.0 - 1.5, rnd() * 6.0 - 3.0),
             );

@@ -7,8 +7,11 @@ use moped_hw::pipeline::{simulate, RoundCycles};
 use proptest::prelude::*;
 
 fn arb_rounds(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<RoundCycles>> {
-    prop::collection::vec((1u64..2000, 1u64..2000), n)
-        .prop_map(|v| v.into_iter().map(|(ns, cc)| RoundCycles { ns, cc }).collect())
+    prop::collection::vec((1u64..2000, 1u64..2000), n).prop_map(|v| {
+        v.into_iter()
+            .map(|(ns, cc)| RoundCycles { ns, cc })
+            .collect()
+    })
 }
 
 proptest! {

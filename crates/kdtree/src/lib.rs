@@ -71,7 +71,11 @@ impl KdTree {
             (1..=moped_geometry::MAX_DOF).contains(&dim),
             "unsupported dimension {dim}"
         );
-        KdTree { nodes: Vec::new(), root: None, dim }
+        KdTree {
+            nodes: Vec::new(),
+            root: None,
+            dim,
+        }
     }
 
     /// Number of stored points.
@@ -112,7 +116,13 @@ impl KdTree {
         assert_eq!(point.dim(), self.dim, "dimension mismatch");
         let new_idx = self.nodes.len();
         let Some(mut cur) = self.root else {
-            self.nodes.push(Node { id, point, axis: 0, left: None, right: None });
+            self.nodes.push(Node {
+                id,
+                point,
+                axis: 0,
+                left: None,
+                right: None,
+            });
             self.root = Some(0);
             return;
         };
@@ -121,7 +131,11 @@ impl KdTree {
             ops.cmp += 1;
             ops.mem_words += self.dim as u64;
             let go_left = point[axis] < self.nodes[cur].point[axis];
-            let slot = if go_left { self.nodes[cur].left } else { self.nodes[cur].right };
+            let slot = if go_left {
+                self.nodes[cur].left
+            } else {
+                self.nodes[cur].right
+            };
             match slot {
                 Some(next) => cur = next,
                 None => {
@@ -269,8 +283,7 @@ impl KdTree {
     /// points, charging the full O(n log n) construction cost — the
     /// mitigation the paper notes dynamic workloads must repeatedly pay.
     pub fn rebuild_balanced(&mut self, ops: &mut OpCount) {
-        let mut items: Vec<(u64, Config)> =
-            self.nodes.iter().map(|n| (n.id, n.point)).collect();
+        let mut items: Vec<(u64, Config)> = self.nodes.iter().map(|n| (n.id, n.point)).collect();
         self.nodes.clear();
         self.root = None;
         let dim = self.dim;
@@ -295,7 +308,13 @@ impl KdTree {
         ops.cmp += n * (64 - n.leading_zeros() as u64).max(1);
         let (id, point) = items[mid];
         let slot = self.nodes.len();
-        self.nodes.push(Node { id, point, axis, left: None, right: None });
+        self.nodes.push(Node {
+            id,
+            point,
+            axis,
+            left: None,
+            right: None,
+        });
         let next = (axis + 1) % dim;
         let (lo, rest) = items.split_at_mut(mid);
         let hi = &mut rest[1..];
@@ -411,7 +430,11 @@ mod tests {
         assert!(tree.depth() > 60, "sorted insertion should degenerate");
         let mut ops = OpCount::default();
         tree.rebuild_balanced(&mut ops);
-        assert!(tree.depth() <= 8, "median rebuild should balance: {}", tree.depth());
+        assert!(
+            tree.depth() <= 8,
+            "median rebuild should balance: {}",
+            tree.depth()
+        );
         assert!(ops.cmp > 0);
         // Search still exact.
         let q = Config::new(&[63.2, 0.0]);
@@ -438,11 +461,14 @@ mod tests {
         // The curse of dimensionality: with the same point count, the
         // fraction of nodes visited grows with dimension.
         let n = 400;
-        let low: Vec<Config> =
-            (0..n).map(|i| Config::new(&[((i * 29) % 101) as f64, ((i * 31) % 97) as f64])).collect();
+        let low: Vec<Config> = (0..n)
+            .map(|i| Config::new(&[((i * 29) % 101) as f64, ((i * 31) % 97) as f64]))
+            .collect();
         let high: Vec<Config> = (0..n)
             .map(|i| {
-                let c: Vec<f64> = (0..7).map(|d| ((i * (13 + d * 2) + d) % 89) as f64).collect();
+                let c: Vec<f64> = (0..7)
+                    .map(|d| ((i * (13 + d * 2) + d) % 89) as f64)
+                    .collect();
                 Config::new(&c)
             })
             .collect();

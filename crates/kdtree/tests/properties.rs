@@ -19,7 +19,10 @@ fn build(points: &[Config]) -> KdTree {
 }
 
 fn linear_nearest(points: &[Config], q: &Config) -> f64 {
-    points.iter().map(|p| p.distance(q)).fold(f64::INFINITY, f64::min)
+    points
+        .iter()
+        .map(|p| p.distance(q))
+        .fold(f64::INFINITY, f64::min)
 }
 
 proptest! {

@@ -75,7 +75,14 @@ impl Octree {
             &mut node_count,
             &mut leaf_full,
         );
-        Octree { root, origin, extent, max_depth, node_count, leaf_full }
+        Octree {
+            root,
+            origin,
+            extent,
+            max_depth,
+            node_count,
+            leaf_full,
+        }
     }
 
     /// Total allocated nodes.
@@ -129,12 +136,8 @@ impl Octree {
                     let iy = usize::from(p.y >= origin.y + half);
                     let iz = usize::from(p.z >= origin.z + half);
                     let idx = ix | (iy << 1) | (iz << 2);
-                    let child_origin = origin
-                        + Vec3::new(
-                            ix as f64 * half,
-                            iy as f64 * half,
-                            iz as f64 * half,
-                        );
+                    let child_origin =
+                        origin + Vec3::new(ix as f64 * half, iy as f64 * half, iz as f64 * half);
                     rec(&kids[idx], child_origin, half, p)
                 }
             }
@@ -226,7 +229,14 @@ fn build_rec(
                     ((idx >> 1) & 1) as f64 * half,
                     ((idx >> 2) & 1) as f64 * half,
                 );
-            build_rec(&overlapping, child_origin, half, depth_left - 1, node_count, leaf_full)
+            build_rec(
+                &overlapping,
+                child_origin,
+                half,
+                depth_left - 1,
+                node_count,
+                leaf_full,
+            )
         })
         .collect();
     let arr: [Node; 8] = children.try_into().expect("eight octants");
@@ -285,8 +295,13 @@ mod tests {
     #[test]
     fn false_positives_shrink_with_depth() {
         // A rotated thin plate: coarse voxels over-cover it heavily.
-        let obstacles =
-            vec![Obb::from_euler(Vec3::splat(128.0), Vec3::new(60.0, 2.0, 60.0), 0.6, 0.4, 0.2)];
+        let obstacles = vec![Obb::from_euler(
+            Vec3::splat(128.0),
+            Vec3::new(60.0, 2.0, 60.0),
+            0.6,
+            0.4,
+            0.2,
+        )];
         let probe = Obb::axis_aligned(Vec3::new(128.0, 160.0, 128.0), Vec3::splat(4.0));
         assert!(!obstacles[0].intersects(&probe), "probe is truly free");
         let mut fp = Vec::new();

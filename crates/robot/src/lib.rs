@@ -130,11 +130,31 @@ impl Robot {
             model: RobotModel::ViperX300,
             bounds: vec![(-PI, PI); 5],
             joints: vec![
-                JointSpec { axis: 2, link_len: 0.0, half_width: 0.0 },  // waist
-                JointSpec { axis: 1, link_len: 45.0, half_width: 4.0 }, // shoulder→elbow
-                JointSpec { axis: 1, link_len: 40.0, half_width: 3.5 }, // elbow→wrist
-                JointSpec { axis: 1, link_len: 30.0, half_width: 3.0 }, // wrist→gripper
-                JointSpec { axis: 0, link_len: 0.0, half_width: 0.0 },  // wrist rotate
+                JointSpec {
+                    axis: 2,
+                    link_len: 0.0,
+                    half_width: 0.0,
+                }, // waist
+                JointSpec {
+                    axis: 1,
+                    link_len: 45.0,
+                    half_width: 4.0,
+                }, // shoulder→elbow
+                JointSpec {
+                    axis: 1,
+                    link_len: 40.0,
+                    half_width: 3.5,
+                }, // elbow→wrist
+                JointSpec {
+                    axis: 1,
+                    link_len: 30.0,
+                    half_width: 3.0,
+                }, // wrist→gripper
+                JointSpec {
+                    axis: 0,
+                    link_len: 0.0,
+                    half_width: 0.0,
+                }, // wrist rotate
             ],
             base: Vec3::new(WORKSPACE_EXTENT / 2.0, WORKSPACE_EXTENT / 2.0, 0.0),
             step: 0.35,
@@ -147,12 +167,36 @@ impl Robot {
             model: RobotModel::Rozum,
             bounds: vec![(-PI, PI); 6],
             joints: vec![
-                JointSpec { axis: 2, link_len: 0.0, half_width: 0.0 },
-                JointSpec { axis: 1, link_len: 40.0, half_width: 4.0 },
-                JointSpec { axis: 1, link_len: 35.0, half_width: 3.5 },
-                JointSpec { axis: 1, link_len: 25.0, half_width: 3.0 },
-                JointSpec { axis: 0, link_len: 15.0, half_width: 2.5 },
-                JointSpec { axis: 2, link_len: 0.0, half_width: 0.0 },
+                JointSpec {
+                    axis: 2,
+                    link_len: 0.0,
+                    half_width: 0.0,
+                },
+                JointSpec {
+                    axis: 1,
+                    link_len: 40.0,
+                    half_width: 4.0,
+                },
+                JointSpec {
+                    axis: 1,
+                    link_len: 35.0,
+                    half_width: 3.5,
+                },
+                JointSpec {
+                    axis: 1,
+                    link_len: 25.0,
+                    half_width: 3.0,
+                },
+                JointSpec {
+                    axis: 0,
+                    link_len: 15.0,
+                    half_width: 2.5,
+                },
+                JointSpec {
+                    axis: 2,
+                    link_len: 0.0,
+                    half_width: 0.0,
+                },
             ],
             base: Vec3::new(WORKSPACE_EXTENT / 2.0, WORKSPACE_EXTENT / 2.0, 0.0),
             step: 0.35,
@@ -165,13 +209,41 @@ impl Robot {
             model: RobotModel::XArm7,
             bounds: vec![(-PI, PI); 7],
             joints: vec![
-                JointSpec { axis: 2, link_len: 20.0, half_width: 4.0 },
-                JointSpec { axis: 1, link_len: 25.0, half_width: 4.0 },
-                JointSpec { axis: 2, link_len: 20.0, half_width: 3.5 },
-                JointSpec { axis: 1, link_len: 25.0, half_width: 3.5 },
-                JointSpec { axis: 2, link_len: 15.0, half_width: 3.0 },
-                JointSpec { axis: 1, link_len: 12.0, half_width: 2.5 },
-                JointSpec { axis: 0, link_len: 10.0, half_width: 2.0 },
+                JointSpec {
+                    axis: 2,
+                    link_len: 20.0,
+                    half_width: 4.0,
+                },
+                JointSpec {
+                    axis: 1,
+                    link_len: 25.0,
+                    half_width: 4.0,
+                },
+                JointSpec {
+                    axis: 2,
+                    link_len: 20.0,
+                    half_width: 3.5,
+                },
+                JointSpec {
+                    axis: 1,
+                    link_len: 25.0,
+                    half_width: 3.5,
+                },
+                JointSpec {
+                    axis: 2,
+                    link_len: 15.0,
+                    half_width: 3.0,
+                },
+                JointSpec {
+                    axis: 1,
+                    link_len: 12.0,
+                    half_width: 2.5,
+                },
+                JointSpec {
+                    axis: 0,
+                    link_len: 10.0,
+                    half_width: 2.0,
+                },
             ],
             base: Vec3::new(WORKSPACE_EXTENT / 2.0, WORKSPACE_EXTENT / 2.0, 0.0),
             step: 0.35,

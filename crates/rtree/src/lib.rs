@@ -97,7 +97,13 @@ impl RTree {
         assert!(fanout >= 2, "R-tree fanout must be at least 2");
         let obstacle_aabbs: Vec<Aabb> = obstacles.iter().map(Aabb::from_obb).collect();
         if obstacles.is_empty() {
-            return RTree { nodes: Vec::new(), obstacle_aabbs, root: None, fanout, height: 0 };
+            return RTree {
+                nodes: Vec::new(),
+                obstacle_aabbs,
+                root: None,
+                fanout,
+                height: 0,
+            };
         }
 
         // STR leaf packing: recursively tile the id list along x, y, z of
@@ -119,7 +125,10 @@ impl RTree {
                     .map(|&i| obstacle_aabbs[i])
                     .reduce(|a, b| a.union(&b))
                     .expect("STR groups are non-empty");
-                nodes.push(Node { aabb, children: Children::Leaves(g) });
+                nodes.push(Node {
+                    aabb,
+                    children: Children::Leaves(g),
+                });
                 nodes.len() - 1
             })
             .collect();
@@ -135,14 +144,23 @@ impl RTree {
                     .map(|&i| nodes[i].aabb)
                     .reduce(|a, b| a.union(&b))
                     .expect("chunks are non-empty");
-                nodes.push(Node { aabb, children: Children::Inner(chunk.to_vec()) });
+                nodes.push(Node {
+                    aabb,
+                    children: Children::Inner(chunk.to_vec()),
+                });
                 next.push(nodes.len() - 1);
             }
             level = next;
             height += 1;
         }
 
-        RTree { root: Some(level[0]), nodes, obstacle_aabbs, fanout, height }
+        RTree {
+            root: Some(level[0]),
+            nodes,
+            obstacle_aabbs,
+            fanout,
+            height,
+        }
     }
 
     /// Number of obstacles indexed.
@@ -277,7 +295,13 @@ impl RTree {
 
 /// Recursive Sort-Tile-Recursive partition of `ids` into groups of at most
 /// `cap`, slicing along `axes` in order.
-fn str_tile(ids: &[usize], centers: &[Vec3], axes: &[usize], cap: usize, out: &mut Vec<Vec<usize>>) {
+fn str_tile(
+    ids: &[usize],
+    centers: &[Vec3],
+    axes: &[usize],
+    cap: usize,
+    out: &mut Vec<Vec<usize>>,
+) {
     if ids.len() <= cap {
         if !ids.is_empty() {
             out.push(ids.to_vec());
@@ -343,10 +367,7 @@ mod tests {
 
     #[test]
     fn single_obstacle_hit_and_miss() {
-        let tree = RTree::build(
-            &[Obb::axis_aligned(Vec3::splat(5.0), Vec3::splat(1.0))],
-            4,
-        );
+        let tree = RTree::build(&[Obb::axis_aligned(Vec3::splat(5.0), Vec3::splat(1.0))], 4);
         let mut ops = OpCount::default();
         let near = Obb::axis_aligned(Vec3::splat(5.5), Vec3::splat(1.0));
         let far = Obb::axis_aligned(Vec3::splat(50.0), Vec3::splat(1.0));
@@ -382,7 +403,10 @@ mod tests {
         let mut ops = OpCount::default();
         let mut stats = FilterStats::default();
         let _ = tree.filter_with_stats(&robot, &mut ops, &mut stats);
-        assert!(stats.pruned_subtrees > 0, "expected pruning on sparse scene");
+        assert!(
+            stats.pruned_subtrees > 0,
+            "expected pruning on sparse scene"
+        );
         assert!(
             stats.total_checks() < obstacles.len() as u64 * 2,
             "hierarchy should beat exhaustive checking"
@@ -429,7 +453,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "leaf partition must cover each obstacle once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "leaf partition must cover each obstacle once"
+        );
     }
 
     #[test]

@@ -1,0 +1,762 @@
+//! The MOPED serving layer: a concurrent batch planning engine.
+//!
+//! The core crates answer one plan request on one thread. This crate
+//! turns them into a *service*: many [`PlanRequest`]s are admitted into a
+//! bounded queue, scheduled across a fixed pool of worker threads, and
+//! answered with [`PlanResponse`]s carrying the planner's result plus
+//! queue/service timing. Design points:
+//!
+//! * **Shared immutable snapshots** — each environment is registered once
+//!   in an [`EnvironmentCatalog`]; its scenario and bulk-loaded obstacle
+//!   R-tree live behind an `Arc` shared by every worker, so admission is
+//!   O(1) and no obstacle field is ever re-sorted per request.
+//! * **Determinism under concurrency** — planning state is confined to
+//!   the worker; a request's result is a pure function of its
+//!   `(environment, params, variant)` triple, byte-identical to a serial
+//!   [`moped_core::plan_variant`] run with the same inputs.
+//! * **Deadlines and cancellation** — cooperative: the planner's stop
+//!   hook is polled every few sampling rounds, and an expired or
+//!   cancelled request returns its best-so-far anytime result instead of
+//!   running away or killing a thread.
+//! * **Admission control** — the queue is bounded; a full queue rejects
+//!   with [`RejectReason::QueueFull`] rather than buffering unboundedly.
+//! * **Graceful shutdown** — [`PlanService::shutdown`] stops admission,
+//!   drains everything already queued, and joins the workers.
+//! * **Observability** — a lock-free [`metrics::Metrics`] registry counts
+//!   every admission outcome, aggregates per-stage op ledgers, and tracks
+//!   latency in fixed-bucket histograms with text/JSON dumps.
+//!
+//! Only `std` is used: threads + channels, no external runtime.
+//!
+//! # Example
+//!
+//! ```
+//! use moped_service::{EnvironmentCatalog, PlanRequest, PlanService, ServiceConfig};
+//! use moped_core::PlannerParams;
+//! use moped_robot::Robot;
+//!
+//! let catalog = EnvironmentCatalog::standard(&Robot::mobile_2d());
+//! let env = catalog.find("open-meadow").unwrap();
+//! let service = PlanService::start(catalog, ServiceConfig { workers: 2, ..Default::default() });
+//! let params = PlannerParams { max_samples: 200, seed: 7, ..Default::default() };
+//! let ticket = service.submit(PlanRequest::new(env, params)).unwrap();
+//! let response = ticket.wait();
+//! assert!(response.result.stats.samples <= 200);
+//! let metrics = service.shutdown();
+//! assert_eq!(metrics.accepted(), 1);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use moped_collision::{NaiveChecker, SecondStage, TwoStageChecker};
+use moped_core::{
+    variant_components, LinearIndex, PlanResult, PlanStats, PlannerParams, RrtStar, SimbrIndex,
+    Variant,
+};
+use moped_env::catalog::{build as build_scene, NamedScene};
+use moped_env::Scenario;
+use moped_robot::Robot;
+use moped_rtree::RTree;
+
+pub use metrics::Metrics;
+
+/// R-tree fanout used for environment snapshots (the paper's default).
+const SNAPSHOT_RTREE_FANOUT: usize = 4;
+
+/// An immutable, shareable environment: the scenario plus its obstacle
+/// R-tree, bulk-loaded once at registration and shared by every worker.
+#[derive(Clone, Debug)]
+pub struct EnvSnapshot {
+    /// Catalog name of this environment.
+    pub name: String,
+    /// The planning scenario (robot, obstacles, default start/goal).
+    pub scenario: Scenario,
+    /// STR-bulk-loaded R-tree over the scenario's obstacles.
+    pub rtree: RTree,
+}
+
+impl EnvSnapshot {
+    /// Builds a snapshot, paying the R-tree bulk load once.
+    pub fn new(name: impl Into<String>, scenario: Scenario) -> Self {
+        let rtree = RTree::build(&scenario.obstacles, SNAPSHOT_RTREE_FANOUT);
+        EnvSnapshot {
+            name: name.into(),
+            scenario,
+            rtree,
+        }
+    }
+}
+
+/// Handle to a registered environment (index into the catalog).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EnvId(usize);
+
+impl EnvId {
+    /// The catalog slot this id refers to.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The set of environments a service instance can plan in.
+///
+/// Registration happens before the service starts; afterwards the catalog
+/// is immutable and shared (`Arc`) with every worker.
+#[derive(Debug, Default)]
+pub struct EnvironmentCatalog {
+    envs: Vec<Arc<EnvSnapshot>>,
+}
+
+impl EnvironmentCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        EnvironmentCatalog::default()
+    }
+
+    /// A catalog holding every named benchmark scene for `robot`.
+    pub fn standard(robot: &Robot) -> Self {
+        let mut cat = EnvironmentCatalog::new();
+        for scene in NamedScene::ALL {
+            cat.register(scene.name(), build_scene(scene, robot.clone()));
+        }
+        cat
+    }
+
+    /// Registers an environment, returning its id.
+    pub fn register(&mut self, name: impl Into<String>, scenario: Scenario) -> EnvId {
+        self.envs.push(Arc::new(EnvSnapshot::new(name, scenario)));
+        EnvId(self.envs.len() - 1)
+    }
+
+    /// Looks up a snapshot by id.
+    pub fn get(&self, id: EnvId) -> Option<&Arc<EnvSnapshot>> {
+        self.envs.get(id.0)
+    }
+
+    /// Finds an environment id by name.
+    pub fn find(&self, name: &str) -> Option<EnvId> {
+        self.envs.iter().position(|e| e.name == name).map(EnvId)
+    }
+
+    /// Number of registered environments.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// All registered ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = EnvId> + '_ {
+        (0..self.envs.len()).map(EnvId)
+    }
+}
+
+/// One planning request.
+#[derive(Clone, Debug)]
+pub struct PlanRequest {
+    /// Which environment to plan in.
+    pub env: EnvId,
+    /// Which kernel stack to run (defaults to full MOPED, V4).
+    pub variant: Variant,
+    /// Planner knobs — `params.seed` makes the request deterministic.
+    pub params: PlannerParams,
+    /// Wall-clock budget measured from admission; `None` means the
+    /// sampling budget alone bounds the run.
+    pub deadline: Option<Duration>,
+}
+
+impl PlanRequest {
+    /// A full-MOPED request with no deadline.
+    pub fn new(env: EnvId, params: PlannerParams) -> Self {
+        PlanRequest {
+            env,
+            variant: Variant::V4Lci,
+            params,
+            deadline: None,
+        }
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Selects a specific ablation variant.
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+}
+
+/// How a request left the service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to its full sampling budget.
+    Completed,
+    /// Stopped by its deadline; `result` is the best-so-far answer.
+    DeadlineExpired,
+    /// Stopped by [`PlanTicket::cancel`]; `result` is the best-so-far
+    /// answer.
+    Cancelled,
+}
+
+/// The answer to one [`PlanRequest`].
+#[derive(Clone, Debug)]
+pub struct PlanResponse {
+    /// Service-assigned request id (admission order).
+    pub id: u64,
+    /// The environment planned in.
+    pub env: EnvId,
+    /// How the request terminated.
+    pub outcome: Outcome,
+    /// The planner's result (path, cost, per-stage statistics).
+    pub result: PlanResult,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Time spent planning (dequeue to response).
+    pub service_time: Duration,
+    /// Index of the worker that served the request.
+    pub worker: usize,
+}
+
+/// Why a request was refused at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue is at capacity; retry later or shed load.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request references an environment id the catalog lacks.
+    UnknownEnvironment,
+    /// The service is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            RejectReason::UnknownEnvironment => write!(f, "unknown environment id"),
+            RejectReason::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Bounded queue capacity; admissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// How many sampling rounds between deadline/cancellation polls.
+    pub stop_poll_every: usize,
+}
+
+impl Default for ServiceConfig {
+    /// 4 workers, a 64-deep queue, polling every 64 rounds.
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            stop_poll_every: 64,
+        }
+    }
+}
+
+/// A pending request: await the response, or cancel the work.
+#[derive(Debug)]
+pub struct PlanTicket {
+    id: u64,
+    cancel: Arc<AtomicBool>,
+    rx: Receiver<PlanResponse>,
+}
+
+impl PlanTicket {
+    /// The service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cooperative cancellation; the response (best-so-far) still
+    /// arrives through [`PlanTicket::wait`].
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker disappeared without responding
+    /// (a worker panic — a bug, not a load condition).
+    pub fn wait(self) -> PlanResponse {
+        self.rx
+            .recv()
+            .expect("worker always responds before exiting")
+    }
+
+    /// Returns the response if it is already available.
+    pub fn poll(&self) -> Option<PlanResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One unit of queued work.
+struct Job {
+    id: u64,
+    env_id: EnvId,
+    env: Arc<EnvSnapshot>,
+    variant: Variant,
+    params: PlannerParams,
+    deadline_at: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+    enqueued: Instant,
+    respond: mpsc::Sender<PlanResponse>,
+}
+
+/// The concurrent batch planning engine. See the crate docs for the
+/// architecture; construct with [`PlanService::start`].
+pub struct PlanService {
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    catalog: Arc<EnvironmentCatalog>,
+    next_id: AtomicU64,
+    config: ServiceConfig,
+}
+
+impl PlanService {
+    /// Spawns the worker pool and starts admitting requests.
+    pub fn start(catalog: EnvironmentCatalog, config: ServiceConfig) -> Self {
+        let workers_n = config.workers.max(1);
+        let metrics = Arc::new(Metrics::default());
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let shared_rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(workers_n);
+        for worker_idx in 0..workers_n {
+            let rx = Arc::clone(&shared_rx);
+            let metrics = Arc::clone(&metrics);
+            let poll_every = config.stop_poll_every.max(1);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("moped-worker-{worker_idx}"))
+                    .spawn(move || worker_loop(worker_idx, rx, metrics, poll_every))
+                    .expect("spawning a worker thread"),
+            );
+        }
+        PlanService {
+            queue: Some(tx),
+            workers,
+            metrics,
+            catalog: Arc::new(catalog),
+            next_id: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The shared environment catalog.
+    pub fn catalog(&self) -> &EnvironmentCatalog {
+        &self.catalog
+    }
+
+    /// The live metrics registry (shared; clone the `Arc` to keep reading
+    /// after shutdown).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Admits one request. O(1): resolves the environment snapshot and
+    /// enqueues; planning happens on a worker. Rejection (with reason) is
+    /// immediate when the queue is full, the environment is unknown, or
+    /// the service is shutting down.
+    pub fn submit(&self, request: PlanRequest) -> Result<PlanTicket, RejectReason> {
+        let Some(queue) = self.queue.as_ref() else {
+            self.metrics.inc_rejected();
+            return Err(RejectReason::ShuttingDown);
+        };
+        let Some(env) = self.catalog.get(request.env) else {
+            self.metrics.inc_rejected();
+            return Err(RejectReason::UnknownEnvironment);
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let job = Job {
+            id,
+            env_id: request.env,
+            env: Arc::clone(env),
+            variant: request.variant,
+            params: request.params,
+            deadline_at: request.deadline.map(|d| now + d),
+            cancel: Arc::clone(&cancel),
+            enqueued: now,
+            respond: tx,
+        };
+        match queue.try_send(job) {
+            Ok(()) => {
+                self.metrics.inc_accepted();
+                self.metrics.queue_entered();
+                Ok(PlanTicket { id, cancel, rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.inc_rejected();
+                Err(RejectReason::QueueFull {
+                    capacity: self.config.queue_capacity.max(1),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.inc_rejected();
+                Err(RejectReason::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submits a batch and blocks until every admitted request responds.
+    /// Per-request admission failures are reported in place; order
+    /// matches the input.
+    pub fn run_batch(
+        &self,
+        requests: impl IntoIterator<Item = PlanRequest>,
+    ) -> Vec<Result<PlanResponse, RejectReason>> {
+        let tickets: Vec<Result<PlanTicket, RejectReason>> =
+            requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets
+            .into_iter()
+            .map(|t| t.map(PlanTicket::wait))
+            .collect()
+    }
+
+    /// Stops admission, drains every queued request, joins the workers,
+    /// and returns the metrics registry. Outstanding [`PlanTicket`]s all
+    /// receive their responses before this returns.
+    pub fn shutdown(mut self) -> Arc<Metrics> {
+        self.drain_and_join();
+        Arc::clone(&self.metrics)
+    }
+
+    fn drain_and_join(&mut self) {
+        // Dropping the sender closes the queue; workers drain what was
+        // already admitted, then their recv() errors out and they exit.
+        self.queue = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PlanService {
+    fn drop(&mut self) {
+        self.drain_and_join();
+    }
+}
+
+/// A worker: pull a job, plan it, respond, repeat until the queue closes.
+fn worker_loop(
+    worker_idx: usize,
+    rx: Arc<Mutex<Receiver<Job>>>,
+    metrics: Arc<Metrics>,
+    poll_every: usize,
+) {
+    // Per-worker cache of two-stage checkers: the R-tree inside is a
+    // structural clone of the snapshot's shared build (no re-sort), and
+    // the scratch buffers stay thread-local, keeping the checker hot
+    // across requests to the same environment.
+    let mut checkers: HashMap<EnvId, TwoStageChecker> = HashMap::new();
+    loop {
+        let job = {
+            let guard = rx.lock().expect("queue receiver poisoned");
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            break; // queue closed and drained: graceful exit
+        };
+        metrics.queue_left();
+        let started = Instant::now();
+        let queue_wait = started.duration_since(job.enqueued);
+        metrics.queue_wait.record(queue_wait);
+
+        let result = execute(&job, &mut checkers, poll_every, started);
+        let outcome = if result.stats.stopped_early {
+            if job.cancel.load(Ordering::Relaxed) {
+                metrics.inc_cancelled();
+                Outcome::Cancelled
+            } else {
+                metrics.inc_deadline_expired();
+                Outcome::DeadlineExpired
+            }
+        } else {
+            metrics.inc_completed();
+            Outcome::Completed
+        };
+        metrics.record_stats(&result.stats, result.solved());
+        let service_time = started.elapsed();
+        metrics.service_latency.record(service_time);
+
+        // A dropped ticket just discards the response.
+        let _ = job.respond.send(PlanResponse {
+            id: job.id,
+            env: job.env_id,
+            outcome,
+            result,
+            queue_wait,
+            service_time,
+            worker: worker_idx,
+        });
+    }
+}
+
+/// Runs one request's plan, wiring the variant's kernel stack exactly
+/// like `moped_core::plan_variant` (so results are byte-identical to a
+/// serial run) but reusing the shared R-tree snapshot for the two-stage
+/// checker.
+fn execute(
+    job: &Job,
+    checkers: &mut HashMap<EnvId, TwoStageChecker>,
+    poll_every: usize,
+    started: Instant,
+) -> PlanResult {
+    // Deadline already blown while queued: answer immediately with an
+    // empty best-so-far result instead of burning worker time.
+    if job.deadline_at.is_some_and(|d| started >= d) {
+        let mut stats = PlanStats::default();
+        stats.stopped_early = true;
+        return PlanResult {
+            path: None,
+            path_cost: f64::INFINITY,
+            stats,
+        };
+    }
+
+    let scenario = &job.env.scenario;
+    let dim = scenario.robot.dof();
+    let (two_stage, simbr, sias, lci) = variant_components(job.variant);
+    let cancel = Arc::clone(&job.cancel);
+    let deadline_at = job.deadline_at;
+    let stop =
+        move || cancel.load(Ordering::Relaxed) || deadline_at.is_some_and(|d| Instant::now() >= d);
+
+    // The naive checker only exists for baseline-variant comparisons; the
+    // serving path proper is the cached two-stage checker.
+    let naive;
+    let checker: &dyn moped_collision::CollisionChecker = if two_stage {
+        checkers.entry(job.env_id).or_insert_with(|| {
+            TwoStageChecker::with_prebuilt(
+                job.env.rtree.clone(),
+                scenario.obstacles.clone(),
+                SecondStage::ObbExact,
+            )
+        })
+    } else {
+        naive = NaiveChecker::new(scenario.obstacles.clone());
+        &naive
+    };
+
+    if simbr {
+        let index = SimbrIndex::new(dim, 6, sias, lci);
+        RrtStar::new(scenario, checker, index, job.params.clone())
+            .with_stop_hook(poll_every, stop)
+            .plan()
+    } else {
+        RrtStar::new(scenario, checker, LinearIndex::new(), job.params.clone())
+            .with_stop_hook(poll_every, stop)
+            .plan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params(samples: usize, seed: u64) -> PlannerParams {
+        PlannerParams {
+            max_samples: samples,
+            seed,
+            ..PlannerParams::default()
+        }
+    }
+
+    #[test]
+    fn catalog_registers_and_finds() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        assert_eq!(cat.len(), NamedScene::ALL.len());
+        for scene in NamedScene::ALL {
+            let id = cat.find(scene.name()).expect("registered");
+            let snap = cat.get(id).unwrap();
+            assert_eq!(snap.name, scene.name());
+            assert_eq!(snap.rtree.len(), snap.scenario.obstacles.len());
+        }
+        assert!(cat.find("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_environment_is_rejected() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let service = PlanService::start(cat, ServiceConfig::default());
+        let bogus = EnvId(99);
+        let err = service
+            .submit(PlanRequest::new(bogus, small_params(10, 1)))
+            .unwrap_err();
+        assert_eq!(err, RejectReason::UnknownEnvironment);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.rejected(), 1);
+        assert_eq!(metrics.accepted(), 0);
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let env = cat.find("open-meadow").unwrap();
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let ticket = service
+            .submit(PlanRequest::new(env, small_params(300, 3)))
+            .unwrap();
+        let response = ticket.wait();
+        assert_eq!(response.outcome, Outcome::Completed);
+        assert_eq!(response.result.stats.samples, 300);
+        assert!(!response.result.stats.stopped_early);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.accepted(), 1);
+        assert_eq!(metrics.completed(), 1);
+        assert_eq!(metrics.queue_depth(), 0);
+        assert_eq!(metrics.service_latency.count(), 1);
+    }
+
+    #[test]
+    fn cancellation_returns_best_so_far() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let env = cat.find("pillar-forest").unwrap();
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                stop_poll_every: 16,
+                ..Default::default()
+            },
+        );
+        // A budget that would take minutes — cancellation must cut it.
+        let ticket = service
+            .submit(PlanRequest::new(env, small_params(50_000_000, 9)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        ticket.cancel();
+        let response = ticket.wait();
+        assert_eq!(response.outcome, Outcome::Cancelled);
+        assert!(response.result.stats.stopped_early);
+        assert!(response.result.stats.samples < 50_000_000);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.cancelled(), 1);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_reason() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let env = cat.find("slalom-corridor").unwrap();
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                stop_poll_every: 16,
+            },
+        );
+        // One long job occupies the worker; capacity-1 queue holds one
+        // more; further admissions must bounce.
+        let hog = service
+            .submit(PlanRequest::new(env, small_params(50_000_000, 1)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(10)); // let the worker dequeue the hog
+        let queued = service
+            .submit(PlanRequest::new(env, small_params(10, 2)))
+            .unwrap();
+        let mut saw_full = false;
+        for seed in 3..13 {
+            match service.submit(PlanRequest::new(env, small_params(10, seed))) {
+                Err(RejectReason::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    saw_full = true;
+                    break;
+                }
+                Ok(_) | Err(_) => {}
+            }
+        }
+        assert!(saw_full, "bounded queue must reject when full");
+        hog.cancel();
+        assert_eq!(hog.wait().outcome, Outcome::Cancelled);
+        assert_eq!(queued.wait().outcome, Outcome::Completed);
+        let metrics = service.shutdown();
+        assert!(metrics.rejected() >= 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let env = cat.find("open-meadow").unwrap();
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 32,
+                stop_poll_every: 64,
+            },
+        );
+        let tickets: Vec<PlanTicket> = (0..8)
+            .map(|seed| {
+                service
+                    .submit(PlanRequest::new(env, small_params(200, seed)))
+                    .unwrap()
+            })
+            .collect();
+        let metrics = service.shutdown(); // must drain, not drop, the 8 jobs
+        let responses: Vec<PlanResponse> = tickets.into_iter().map(PlanTicket::wait).collect();
+        assert_eq!(responses.len(), 8);
+        assert!(responses.iter().all(|r| r.outcome == Outcome::Completed));
+        assert_eq!(metrics.accepted(), 8);
+        assert_eq!(metrics.completed(), 8);
+        assert_eq!(metrics.queue_depth(), 0);
+    }
+
+    #[test]
+    fn baseline_variant_requests_run() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let env = cat.find("open-meadow").unwrap();
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let req = PlanRequest::new(env, small_params(150, 5)).with_variant(Variant::V0Baseline);
+        let response = service.submit(req).unwrap().wait();
+        assert_eq!(response.outcome, Outcome::Completed);
+        assert_eq!(response.result.stats.samples, 150);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,370 @@
+//! Lock-free service observability: atomic counters, gauges, and
+//! fixed-bucket latency histograms with text/JSON dumps.
+//!
+//! Every instrument is a plain `AtomicU64`, so workers record without
+//! locks and readers see monotonically consistent (if racy by a few
+//! events) values — the usual contract of a scrape-style registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use moped_core::PlanStats;
+
+/// Upper bucket bounds in microseconds; one overflow bucket follows.
+/// Spans 50µs .. 10s, roughly ×3 per step — enough resolution for p50/p95
+/// on plans that take anywhere from a fraction of a millisecond to
+/// seconds.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 12] = [
+    50, 150, 500, 1_500, 5_000, 15_000, 50_000, 150_000, 500_000, 1_500_000, 5_000_000, 10_000_000,
+];
+
+const BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
+
+/// A fixed-bucket histogram of durations (microsecond resolution).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The largest recorded observation.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us.load(Ordering::Relaxed))
+    }
+
+    /// Mean of all observations (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us.load(Ordering::Relaxed) / n)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// bound of the first bucket whose cumulative count reaches
+    /// `q * total`, clamped to the observed max (the overflow bucket has
+    /// no upper bound, and the top occupied bucket's bound may exceed
+    /// every real observation).
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let max_us = self.max_us.load(Ordering::Relaxed);
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i < LATENCY_BUCKET_BOUNDS_US.len() {
+                    Duration::from_micros(LATENCY_BUCKET_BOUNDS_US[i].min(max_us))
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The service-wide metrics registry.
+///
+/// Request accounting obeys `accepted = completed + deadline_expired +
+/// cancelled + in_flight_or_queued`; `rejected` counts admissions that
+/// never entered the queue. After a drain (`PlanService::shutdown`) the
+/// in-flight term is zero, which the integration tests assert.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    deadline_expired: AtomicU64,
+    cancelled: AtomicU64,
+    queue_depth: AtomicU64,
+    samples: AtomicU64,
+    nodes: AtomicU64,
+    rewires: AtomicU64,
+    solved: AtomicU64,
+    ns_macs: AtomicU64,
+    cc_macs: AtomicU64,
+    insert_macs: AtomicU64,
+    other_macs: AtomicU64,
+    /// Wall time from dequeue to response.
+    pub service_latency: LatencyHistogram,
+    /// Wall time from admission to dequeue.
+    pub queue_wait: LatencyHistogram,
+}
+
+macro_rules! counter_api {
+    ($($(#[$doc:meta])* $name:ident / $inc:ident),* $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $name(&self) -> u64 {
+            self.$name.load(Ordering::Relaxed)
+        }
+
+        pub(crate) fn $inc(&self) {
+            self.$name.fetch_add(1, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl Metrics {
+    counter_api! {
+        /// Requests admitted into the queue.
+        accepted / inc_accepted,
+        /// Requests refused at admission (full queue, unknown env, shutdown).
+        rejected / inc_rejected,
+        /// Requests that ran to their full sampling budget.
+        completed / inc_completed,
+        /// Requests cut short by their deadline (best-so-far returned).
+        deadline_expired / inc_deadline_expired,
+        /// Requests cut short by explicit cancellation.
+        cancelled / inc_cancelled,
+    }
+
+    /// Requests currently queued (admitted, not yet dequeued).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn queue_entered(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn queue_left(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests whose response carried a start-to-goal path.
+    pub fn solved(&self) -> u64 {
+        self.solved.load(Ordering::Relaxed)
+    }
+
+    /// Folds one plan's statistics into the aggregate op ledgers.
+    pub(crate) fn record_stats(&self, stats: &PlanStats, solved: bool) {
+        self.samples
+            .fetch_add(stats.samples as u64, Ordering::Relaxed);
+        self.nodes.fetch_add(stats.nodes as u64, Ordering::Relaxed);
+        self.rewires.fetch_add(stats.rewires, Ordering::Relaxed);
+        if solved {
+            self.solved.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ns_macs
+            .fetch_add(stats.ns_ops.mac_equiv(), Ordering::Relaxed);
+        self.cc_macs
+            .fetch_add(stats.collision.total_ops().mac_equiv(), Ordering::Relaxed);
+        self.insert_macs
+            .fetch_add(stats.insert_ops.mac_equiv(), Ordering::Relaxed);
+        self.other_macs
+            .fetch_add(stats.other_ops.mac_equiv(), Ordering::Relaxed);
+    }
+
+    /// Total sampling rounds executed across all responses.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// MAC-equivalent work split `(collision, neighbor-search, insert,
+    /// other)` aggregated across all responses.
+    pub fn mac_breakdown(&self) -> (u64, u64, u64, u64) {
+        (
+            self.cc_macs.load(Ordering::Relaxed),
+            self.ns_macs.load(Ordering::Relaxed),
+            self.insert_macs.load(Ordering::Relaxed),
+            self.other_macs.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Human-readable dump (one `key value` pair per line).
+    pub fn dump_text(&self) -> String {
+        let (cc, ns, ins, other) = self.mac_breakdown();
+        let mut out = String::new();
+        let mut kv = |k: &str, v: String| {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        kv("requests_accepted", self.accepted().to_string());
+        kv("requests_rejected", self.rejected().to_string());
+        kv("requests_completed", self.completed().to_string());
+        kv(
+            "requests_deadline_expired",
+            self.deadline_expired().to_string(),
+        );
+        kv("requests_cancelled", self.cancelled().to_string());
+        kv("requests_solved", self.solved().to_string());
+        kv("queue_depth", self.queue_depth().to_string());
+        kv("samples_total", self.samples().to_string());
+        kv(
+            "nodes_total",
+            self.nodes.load(Ordering::Relaxed).to_string(),
+        );
+        kv(
+            "rewires_total",
+            self.rewires.load(Ordering::Relaxed).to_string(),
+        );
+        kv("macs_collision", cc.to_string());
+        kv("macs_neighbor_search", ns.to_string());
+        kv("macs_insert", ins.to_string());
+        kv("macs_other", other.to_string());
+        kv(
+            "latency_p50_us",
+            self.service_latency.quantile(0.50).as_micros().to_string(),
+        );
+        kv(
+            "latency_p95_us",
+            self.service_latency.quantile(0.95).as_micros().to_string(),
+        );
+        kv(
+            "latency_max_us",
+            self.service_latency.max().as_micros().to_string(),
+        );
+        kv(
+            "latency_mean_us",
+            self.service_latency.mean().as_micros().to_string(),
+        );
+        kv(
+            "queue_wait_p95_us",
+            self.queue_wait.quantile(0.95).as_micros().to_string(),
+        );
+        out
+    }
+
+    /// Machine-readable dump (a flat JSON object; hand-rolled because the
+    /// workspace deliberately has no serialization dependency).
+    pub fn dump_json(&self) -> String {
+        let (cc, ns, ins, other) = self.mac_breakdown();
+        let mut fields: Vec<(String, String)> = vec![
+            ("requests_accepted".into(), self.accepted().to_string()),
+            ("requests_rejected".into(), self.rejected().to_string()),
+            ("requests_completed".into(), self.completed().to_string()),
+            (
+                "requests_deadline_expired".into(),
+                self.deadline_expired().to_string(),
+            ),
+            ("requests_cancelled".into(), self.cancelled().to_string()),
+            ("requests_solved".into(), self.solved().to_string()),
+            ("queue_depth".into(), self.queue_depth().to_string()),
+            ("samples_total".into(), self.samples().to_string()),
+            ("macs_collision".into(), cc.to_string()),
+            ("macs_neighbor_search".into(), ns.to_string()),
+            ("macs_insert".into(), ins.to_string()),
+            ("macs_other".into(), other.to_string()),
+            (
+                "latency_p50_us".into(),
+                self.service_latency.quantile(0.50).as_micros().to_string(),
+            ),
+            (
+                "latency_p95_us".into(),
+                self.service_latency.quantile(0.95).as_micros().to_string(),
+            ),
+            (
+                "latency_max_us".into(),
+                self.service_latency.max().as_micros().to_string(),
+            ),
+        ];
+        let buckets = self
+            .service_latency
+            .bucket_counts()
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        fields.push(("latency_buckets".into(), format!("[{buckets}]")));
+        let body = fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{{body}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered() {
+        let h = LatencyHistogram::default();
+        for ms in [1u64, 2, 3, 10, 20, 40, 80, 200, 500, 900] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.max());
+        assert_eq!(h.max(), Duration::from_millis(900));
+        assert!(h.mean() >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_reports_max() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(30)); // beyond the last bound
+        assert_eq!(h.quantile(0.99), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn dumps_contain_counters() {
+        let m = Metrics::default();
+        m.inc_accepted();
+        m.inc_completed();
+        m.service_latency.record(Duration::from_millis(3));
+        let text = m.dump_text();
+        assert!(text.contains("requests_accepted 1"));
+        assert!(text.contains("requests_completed 1"));
+        let json = m.dump_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests_accepted\":1"));
+        assert!(json.contains("\"latency_buckets\":["));
+    }
+}

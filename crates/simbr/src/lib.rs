@@ -320,8 +320,7 @@ impl SiMbrTree {
     fn split_node(&mut self, node: usize, ops: &mut OpCount) -> usize {
         let new_node = match &self.nodes[node].kind {
             NodeKind::Leaf(entries) => {
-                let rects: Vec<Rect> =
-                    entries.iter().map(|e| Rect::from_point(&e.point)).collect();
+                let rects: Vec<Rect> = entries.iter().map(|e| Rect::from_point(&e.point)).collect();
                 let (ga, gb) = quadratic_split(&rects, ops);
                 let entries = entries.clone();
                 let keep: Vec<Entry> = ga.iter().map(|&i| entries[i]).collect();
@@ -549,9 +548,7 @@ impl SiMbrTree {
                     ops.mem_words += 2 * self.dim as u64;
                     *slot = (self.nodes[k].rect.mindist_sq(query, ops), k);
                 }
-                order[..n].sort_unstable_by(|a, b| {
-                    a.0.partial_cmp(&b.0).expect("finite MINDIST")
-                });
+                order[..n].sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite MINDIST"));
                 ops.cmp += (n.saturating_sub(1)) as u64;
                 for (i, (md, k)) in order[..n].iter().enumerate() {
                     ops.cmp += 1;
@@ -699,7 +696,10 @@ impl SiMbrTree {
             }
         }
         if seen_entries != self.len {
-            return Some(format!("len {} but {seen_entries} reachable entries", self.len));
+            return Some(format!(
+                "len {} but {seen_entries} reachable entries",
+                self.len
+            ));
         }
         None
     }
@@ -817,7 +817,11 @@ mod tests {
     #[test]
     fn nearest_matches_linear_scan_lci() {
         let (tree, _) = build_grid(60, "lci");
-        assert!(tree.check_invariants().is_none(), "{:?}", tree.check_invariants());
+        assert!(
+            tree.check_invariants().is_none(),
+            "{:?}",
+            tree.check_invariants()
+        );
         let mut ops = OpCount::default();
         for q in [c2(3.3, 2.7), c2(0.0, 5.9), c2(9.5, 5.5)] {
             let a = tree.nearest(&q, &mut ops).unwrap();
@@ -894,10 +898,18 @@ mod tests {
     #[test]
     fn invariants_hold_after_many_splits() {
         let (tree, _) = build_grid(300, "conv");
-        assert!(tree.check_invariants().is_none(), "{:?}", tree.check_invariants());
+        assert!(
+            tree.check_invariants().is_none(),
+            "{:?}",
+            tree.check_invariants()
+        );
         assert!(tree.height() >= 3);
         let (tree, _) = build_grid(300, "lci");
-        assert!(tree.check_invariants().is_none(), "{:?}", tree.check_invariants());
+        assert!(
+            tree.check_invariants().is_none(),
+            "{:?}",
+            tree.check_invariants()
+        );
     }
 
     #[test]

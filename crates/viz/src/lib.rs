@@ -48,7 +48,12 @@ impl<'a> SceneSvg<'a> {
             scenario.robot.workspace_is_2d(),
             "SVG rendering supports the planar (2D Mobile) workspace only"
         );
-        SceneSvg { scenario, paths: Vec::new(), tree_edges: Vec::new(), scale: 2.0 }
+        SceneSvg {
+            scenario,
+            paths: Vec::new(),
+            tree_edges: Vec::new(),
+            scale: 2.0,
+        }
     }
 
     /// Adds a waypoint path in the given CSS color.
@@ -221,7 +226,10 @@ mod tests {
         let r = SceneSvg::new(&s);
         let (_, y_bottom) = r.map(0.0, 0.0);
         let (_, y_top) = r.map(0.0, WORKSPACE_EXTENT);
-        assert!(y_bottom > y_top, "workspace origin should map to the bottom");
+        assert!(
+            y_bottom > y_top,
+            "workspace origin should map to the bottom"
+        );
     }
 
     #[test]

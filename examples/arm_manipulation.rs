@@ -26,8 +26,14 @@ fn main() {
         let moped = plan_variant(&scenario, Variant::V4Lci, &params);
 
         println!("== {name} ({dof} DoF, {bodies} body boxes) ==");
-        println!("  baseline ops : {:>14}", base.stats.total_ops().mac_equiv());
-        println!("  MOPED ops    : {:>14}", moped.stats.total_ops().mac_equiv());
+        println!(
+            "  baseline ops : {:>14}",
+            base.stats.total_ops().mac_equiv()
+        );
+        println!(
+            "  MOPED ops    : {:>14}",
+            moped.stats.total_ops().mac_equiv()
+        );
         println!(
             "  saving       : {:>13.1}x",
             base.stats.total_ops().mac_equiv() as f64

@@ -10,10 +10,16 @@ use moped::robot::Robot;
 
 fn main() {
     println!("6-DoF drone navigation across environment complexities");
-    println!("{:<12} {:>14} {:>14} {:>8} {:>10} {:>10}",
-        "obstacles", "baseline MACs", "MOPED MACs", "saving", "base cost", "moped cost");
+    println!(
+        "{:<12} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "obstacles", "baseline MACs", "MOPED MACs", "saving", "base cost", "moped cost"
+    );
 
-    let params = PlannerParams { max_samples: 1000, seed: 11, ..PlannerParams::default() };
+    let params = PlannerParams {
+        max_samples: 1000,
+        seed: 11,
+        ..PlannerParams::default()
+    };
 
     for &count in &OBSTACLE_COUNTS {
         let scenario = Scenario::generate(

@@ -35,8 +35,11 @@ fn main() {
             // Spin scales with translation speed so "0 u/s" is truly static.
             let spin = default_spin() * speed / 16.0;
             let dynamic = DynamicScenario::animate(base, speed, spin, seed);
-            let planner =
-                PlannerParams { max_samples: 800, seed: 3, ..PlannerParams::default() };
+            let planner = PlannerParams {
+                max_samples: 800,
+                seed: 3,
+                ..PlannerParams::default()
+            };
             let report = run(&dynamic, &planner, &ReplanParams::default());
             reached += usize::from(report.reached_goal);
             plans += report.plans;

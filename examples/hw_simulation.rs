@@ -25,7 +25,10 @@ fn main() {
         ..PlannerParams::default()
     };
 
-    println!("Planning: {} in a 16-obstacle field...", scenario.robot.name());
+    println!(
+        "Planning: {} in a 16-obstacle field...",
+        scenario.robot.name()
+    );
     let base = plan_variant(&scenario, Variant::V0Baseline, &params);
     let moped = plan_variant(&scenario, Variant::V4Lci, &params);
 
@@ -76,6 +79,12 @@ fn main() {
     println!("  serial cycles      : {}", pipe.serial_cycles);
     println!("  speculative cycles : {}", pipe.speculative_cycles);
     println!("  S&R speedup        : {:.2}x", pipe.speedup());
-    println!("  max FIFO occupancy : {} (depth 20)", pipe.max_fifo_occupancy);
-    println!("  max missing nbrs   : {} (capacity 5)", pipe.max_missing_neighbors);
+    println!(
+        "  max FIFO occupancy : {} (depth 20)",
+        pipe.max_fifo_occupancy
+    );
+    println!(
+        "  max missing nbrs   : {} (capacity 5)",
+        pipe.max_missing_neighbors
+    );
 }

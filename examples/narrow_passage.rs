@@ -19,15 +19,17 @@ fn main() {
 
     for tilt in [0.0, 0.2, 0.35, 0.5] {
         let scenario = Scenario::narrow_passage(Robot::mobile_2d(), 34.0, tilt);
-        let params = PlannerParams { max_samples: 3000, seed: 9, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 3000,
+            seed: 9,
+            ..PlannerParams::default()
+        };
 
         let exact = TwoStageChecker::new(scenario.obstacles.clone(), 4, SecondStage::ObbExact);
         let loose = TwoStageChecker::new(scenario.obstacles.clone(), 4, SecondStage::AabbOnly);
 
-        let r_exact =
-            RrtStar::new(&scenario, &exact, SimbrIndex::moped(3), params.clone()).plan();
-        let r_loose =
-            RrtStar::new(&scenario, &loose, SimbrIndex::moped(3), params.clone()).plan();
+        let r_exact = RrtStar::new(&scenario, &exact, SimbrIndex::moped(3), params.clone()).plan();
+        let r_loose = RrtStar::new(&scenario, &loose, SimbrIndex::moped(3), params.clone()).plan();
 
         println!(
             "{:<10.2} {:>12} {:>12.1} {:>12} {:>12.1}",
@@ -48,10 +50,18 @@ fn main() {
     println!("\nGap-center pose:");
     println!(
         "  exact OBB check : {}",
-        if exact.config_free(&scenario.robot, &mid, &mut ledger) { "free" } else { "collision" }
+        if exact.config_free(&scenario.robot, &mid, &mut ledger) {
+            "free"
+        } else {
+            "collision"
+        }
     );
     println!(
         "  AABB-only check : {}",
-        if loose.config_free(&scenario.robot, &mid, &mut ledger) { "free" } else { "collision (false positive)" }
+        if loose.config_free(&scenario.robot, &mid, &mut ledger) {
+            "free"
+        } else {
+            "collision (false positive)"
+        }
     );
 }

@@ -20,12 +20,19 @@ fn main() -> std::io::Result<()> {
             "open_field",
             Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(16), 42),
         ),
-        ("narrow_passage", Scenario::narrow_passage(Robot::mobile_2d(), 30.0, 0.5)),
+        (
+            "narrow_passage",
+            Scenario::narrow_passage(Robot::mobile_2d(), 30.0, 0.5),
+        ),
     ];
 
     for (name, scenario) in scenes {
         let checker = TwoStageChecker::moped(scenario.obstacles.clone());
-        let params = PlannerParams { max_samples: 2500, seed: 7, ..PlannerParams::default() };
+        let params = PlannerParams {
+            max_samples: 2500,
+            seed: 7,
+            ..PlannerParams::default()
+        };
         let mut planner = RrtStar::new(&scenario, &checker, SimbrIndex::moped(3), params);
         let result = planner.plan();
 

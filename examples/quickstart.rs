@@ -8,11 +8,7 @@ use moped::env::{Scenario, ScenarioParams};
 use moped::robot::Robot;
 
 fn main() {
-    let scenario = Scenario::generate(
-        Robot::mobile_2d(),
-        &ScenarioParams::with_obstacles(16),
-        42,
-    );
+    let scenario = Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(16), 42);
     println!(
         "Scenario: {} obstacles, start {:?} -> goal {:?}",
         scenario.obstacles.len(),
@@ -20,7 +16,11 @@ fn main() {
         scenario.goal.as_slice()
     );
 
-    let params = PlannerParams { max_samples: 2000, seed: 7, ..PlannerParams::default() };
+    let params = PlannerParams {
+        max_samples: 2000,
+        seed: 7,
+        ..PlannerParams::default()
+    };
 
     for variant in [Variant::V0Baseline, Variant::V4Lci] {
         let result = plan_variant(&scenario, variant, &params);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository verification: the tier-1 gate plus formatting.
+#
+# Everything builds offline — rand/proptest/criterion are vendored
+# API-compatible subsets under vendor/ (see DESIGN.md §2) — so this
+# script needs no network access.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "verify: OK"

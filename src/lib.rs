@@ -20,6 +20,8 @@
 //! * [`collision`] — naive and two-stage motion collision checkers
 //! * [`core`] — the RRT\* planner and the V0–V4 variant ladder
 //! * [`hw`] — the 28nm hardware performance model and baselines
+//! * [`service`] — the concurrent batch planning engine (worker pool,
+//!   bounded admission queue, deadlines, cancellation, metrics)
 //!
 //! # Quickstart
 //!
@@ -43,12 +45,13 @@
 pub use moped_collision as collision;
 pub use moped_core as core;
 pub use moped_env as env;
+pub use moped_eval as eval;
 pub use moped_geometry as geometry;
 pub use moped_hw as hw;
 pub use moped_kdtree as kdtree;
-pub use moped_eval as eval;
 pub use moped_octree as octree;
-pub use moped_viz as viz;
 pub use moped_robot as robot;
 pub use moped_rtree as rtree;
+pub use moped_service as service;
 pub use moped_simbr as simbr;
+pub use moped_viz as viz;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog_planning-8c4d662e27c9f7db.d: tests/catalog_planning.rs
+
+/root/repo/target/debug/deps/catalog_planning-8c4d662e27c9f7db: tests/catalog_planning.rs
+
+tests/catalog_planning.rs:

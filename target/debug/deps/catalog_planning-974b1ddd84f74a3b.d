@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog_planning-974b1ddd84f74a3b.d: tests/catalog_planning.rs
+
+/root/repo/target/debug/deps/catalog_planning-974b1ddd84f74a3b: tests/catalog_planning.rs
+
+tests/catalog_planning.rs:

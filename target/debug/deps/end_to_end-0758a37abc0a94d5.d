@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0758a37abc0a94d5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0758a37abc0a94d5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

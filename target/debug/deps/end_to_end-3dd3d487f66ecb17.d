@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3dd3d487f66ecb17.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3dd3d487f66ecb17: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-7e5337a4a6c4a24f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-7e5337a4a6c4a24f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

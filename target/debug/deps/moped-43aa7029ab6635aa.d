@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moped-43aa7029ab6635aa.d: src/lib.rs
+
+/root/repo/target/debug/deps/moped-43aa7029ab6635aa: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped-55c14221c6941270.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmoped-55c14221c6941270.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmoped-55c14221c6941270.rmeta: src/lib.rs
+
+src/lib.rs:

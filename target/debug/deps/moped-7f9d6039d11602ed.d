@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moped-7f9d6039d11602ed.d: src/lib.rs
+
+/root/repo/target/debug/deps/moped-7f9d6039d11602ed: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped-bac262b98be65012.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmoped-bac262b98be65012.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmoped-bac262b98be65012.rmeta: src/lib.rs
+
+src/lib.rs:

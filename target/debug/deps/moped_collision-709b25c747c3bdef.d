@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/moped_collision-709b25c747c3bdef.d: crates/collision/src/lib.rs crates/collision/src/parallel.rs
+
+/root/repo/target/debug/deps/moped_collision-709b25c747c3bdef: crates/collision/src/lib.rs crates/collision/src/parallel.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/parallel.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/moped_collision-d3ebe22c45c30f26.d: crates/collision/src/lib.rs crates/collision/src/parallel.rs
+
+/root/repo/target/debug/deps/libmoped_collision-d3ebe22c45c30f26.rlib: crates/collision/src/lib.rs crates/collision/src/parallel.rs
+
+/root/repo/target/debug/deps/libmoped_collision-d3ebe22c45c30f26.rmeta: crates/collision/src/lib.rs crates/collision/src/parallel.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/parallel.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/moped_core-446199a4742e9d92.d: crates/core/src/lib.rs crates/core/src/extensions.rs crates/core/src/index.rs crates/core/src/planner.rs crates/core/src/replan.rs crates/core/src/smooth.rs crates/core/src/variant.rs
+
+/root/repo/target/debug/deps/libmoped_core-446199a4742e9d92.rlib: crates/core/src/lib.rs crates/core/src/extensions.rs crates/core/src/index.rs crates/core/src/planner.rs crates/core/src/replan.rs crates/core/src/smooth.rs crates/core/src/variant.rs
+
+/root/repo/target/debug/deps/libmoped_core-446199a4742e9d92.rmeta: crates/core/src/lib.rs crates/core/src/extensions.rs crates/core/src/index.rs crates/core/src/planner.rs crates/core/src/replan.rs crates/core/src/smooth.rs crates/core/src/variant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/extensions.rs:
+crates/core/src/index.rs:
+crates/core/src/planner.rs:
+crates/core/src/replan.rs:
+crates/core/src/smooth.rs:
+crates/core/src/variant.rs:

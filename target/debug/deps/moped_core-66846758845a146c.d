@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/moped_core-66846758845a146c.d: crates/core/src/lib.rs crates/core/src/extensions.rs crates/core/src/index.rs crates/core/src/planner.rs crates/core/src/replan.rs crates/core/src/smooth.rs crates/core/src/variant.rs
+
+/root/repo/target/debug/deps/moped_core-66846758845a146c: crates/core/src/lib.rs crates/core/src/extensions.rs crates/core/src/index.rs crates/core/src/planner.rs crates/core/src/replan.rs crates/core/src/smooth.rs crates/core/src/variant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/extensions.rs:
+crates/core/src/index.rs:
+crates/core/src/planner.rs:
+crates/core/src/replan.rs:
+crates/core/src/smooth.rs:
+crates/core/src/variant.rs:

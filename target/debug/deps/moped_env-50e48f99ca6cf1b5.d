@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped_env-50e48f99ca6cf1b5.d: crates/env/src/lib.rs crates/env/src/catalog.rs crates/env/src/dynamic.rs
+
+/root/repo/target/debug/deps/moped_env-50e48f99ca6cf1b5: crates/env/src/lib.rs crates/env/src/catalog.rs crates/env/src/dynamic.rs
+
+crates/env/src/lib.rs:
+crates/env/src/catalog.rs:
+crates/env/src/dynamic.rs:

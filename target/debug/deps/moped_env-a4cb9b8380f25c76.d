@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/moped_env-a4cb9b8380f25c76.d: crates/env/src/lib.rs crates/env/src/catalog.rs crates/env/src/dynamic.rs
+
+/root/repo/target/debug/deps/libmoped_env-a4cb9b8380f25c76.rlib: crates/env/src/lib.rs crates/env/src/catalog.rs crates/env/src/dynamic.rs
+
+/root/repo/target/debug/deps/libmoped_env-a4cb9b8380f25c76.rmeta: crates/env/src/lib.rs crates/env/src/catalog.rs crates/env/src/dynamic.rs
+
+crates/env/src/lib.rs:
+crates/env/src/catalog.rs:
+crates/env/src/dynamic.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/moped_eval-8793eebdc9f3adc3.d: crates/eval/src/lib.rs crates/eval/src/clearance.rs
+
+/root/repo/target/debug/deps/libmoped_eval-8793eebdc9f3adc3.rlib: crates/eval/src/lib.rs crates/eval/src/clearance.rs
+
+/root/repo/target/debug/deps/libmoped_eval-8793eebdc9f3adc3.rmeta: crates/eval/src/lib.rs crates/eval/src/clearance.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/clearance.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/moped_eval-b731515294af5b30.d: crates/eval/src/lib.rs crates/eval/src/clearance.rs
+
+/root/repo/target/debug/deps/moped_eval-b731515294af5b30: crates/eval/src/lib.rs crates/eval/src/clearance.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/clearance.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/moped_geometry-4a3b89ae1bf0a3ba.d: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/config.rs crates/geometry/src/gjk.rs crates/geometry/src/mat3.rs crates/geometry/src/obb.rs crates/geometry/src/ops.rs crates/geometry/src/rect.rs crates/geometry/src/sat.rs crates/geometry/src/segment.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/debug/deps/libmoped_geometry-4a3b89ae1bf0a3ba.rlib: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/config.rs crates/geometry/src/gjk.rs crates/geometry/src/mat3.rs crates/geometry/src/obb.rs crates/geometry/src/ops.rs crates/geometry/src/rect.rs crates/geometry/src/sat.rs crates/geometry/src/segment.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/debug/deps/libmoped_geometry-4a3b89ae1bf0a3ba.rmeta: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/config.rs crates/geometry/src/gjk.rs crates/geometry/src/mat3.rs crates/geometry/src/obb.rs crates/geometry/src/ops.rs crates/geometry/src/rect.rs crates/geometry/src/sat.rs crates/geometry/src/segment.rs crates/geometry/src/vec3.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/aabb.rs:
+crates/geometry/src/config.rs:
+crates/geometry/src/gjk.rs:
+crates/geometry/src/mat3.rs:
+crates/geometry/src/obb.rs:
+crates/geometry/src/ops.rs:
+crates/geometry/src/rect.rs:
+crates/geometry/src/sat.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/vec3.rs:

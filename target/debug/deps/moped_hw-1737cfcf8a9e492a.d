@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/moped_hw-1737cfcf8a9e492a.d: crates/hw/src/lib.rs crates/hw/src/banks.rs crates/hw/src/cache.rs crates/hw/src/cachesim.rs crates/hw/src/design.rs crates/hw/src/energy.rs crates/hw/src/engine.rs crates/hw/src/fixed.rs crates/hw/src/lfsr.rs crates/hw/src/params.rs crates/hw/src/perf.rs crates/hw/src/pipeline.rs crates/hw/src/satq.rs
+
+/root/repo/target/debug/deps/libmoped_hw-1737cfcf8a9e492a.rlib: crates/hw/src/lib.rs crates/hw/src/banks.rs crates/hw/src/cache.rs crates/hw/src/cachesim.rs crates/hw/src/design.rs crates/hw/src/energy.rs crates/hw/src/engine.rs crates/hw/src/fixed.rs crates/hw/src/lfsr.rs crates/hw/src/params.rs crates/hw/src/perf.rs crates/hw/src/pipeline.rs crates/hw/src/satq.rs
+
+/root/repo/target/debug/deps/libmoped_hw-1737cfcf8a9e492a.rmeta: crates/hw/src/lib.rs crates/hw/src/banks.rs crates/hw/src/cache.rs crates/hw/src/cachesim.rs crates/hw/src/design.rs crates/hw/src/energy.rs crates/hw/src/engine.rs crates/hw/src/fixed.rs crates/hw/src/lfsr.rs crates/hw/src/params.rs crates/hw/src/perf.rs crates/hw/src/pipeline.rs crates/hw/src/satq.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/banks.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/cachesim.rs:
+crates/hw/src/design.rs:
+crates/hw/src/energy.rs:
+crates/hw/src/engine.rs:
+crates/hw/src/fixed.rs:
+crates/hw/src/lfsr.rs:
+crates/hw/src/params.rs:
+crates/hw/src/perf.rs:
+crates/hw/src/pipeline.rs:
+crates/hw/src/satq.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/moped_hw-53b8621c98d4eff6.d: crates/hw/src/lib.rs crates/hw/src/banks.rs crates/hw/src/cache.rs crates/hw/src/cachesim.rs crates/hw/src/design.rs crates/hw/src/energy.rs crates/hw/src/engine.rs crates/hw/src/fixed.rs crates/hw/src/lfsr.rs crates/hw/src/params.rs crates/hw/src/perf.rs crates/hw/src/pipeline.rs crates/hw/src/satq.rs
+
+/root/repo/target/debug/deps/moped_hw-53b8621c98d4eff6: crates/hw/src/lib.rs crates/hw/src/banks.rs crates/hw/src/cache.rs crates/hw/src/cachesim.rs crates/hw/src/design.rs crates/hw/src/energy.rs crates/hw/src/engine.rs crates/hw/src/fixed.rs crates/hw/src/lfsr.rs crates/hw/src/params.rs crates/hw/src/perf.rs crates/hw/src/pipeline.rs crates/hw/src/satq.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/banks.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/cachesim.rs:
+crates/hw/src/design.rs:
+crates/hw/src/energy.rs:
+crates/hw/src/engine.rs:
+crates/hw/src/fixed.rs:
+crates/hw/src/lfsr.rs:
+crates/hw/src/params.rs:
+crates/hw/src/perf.rs:
+crates/hw/src/pipeline.rs:
+crates/hw/src/satq.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped_kdtree-0ded96e5290f3fe7.d: crates/kdtree/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_kdtree-0ded96e5290f3fe7.rlib: crates/kdtree/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_kdtree-0ded96e5290f3fe7.rmeta: crates/kdtree/src/lib.rs
+
+crates/kdtree/src/lib.rs:

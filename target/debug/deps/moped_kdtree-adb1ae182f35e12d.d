@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moped_kdtree-adb1ae182f35e12d.d: crates/kdtree/src/lib.rs
+
+/root/repo/target/debug/deps/moped_kdtree-adb1ae182f35e12d: crates/kdtree/src/lib.rs
+
+crates/kdtree/src/lib.rs:

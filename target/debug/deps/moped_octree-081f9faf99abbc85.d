@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moped_octree-081f9faf99abbc85.d: crates/octree/src/lib.rs
+
+/root/repo/target/debug/deps/moped_octree-081f9faf99abbc85: crates/octree/src/lib.rs
+
+crates/octree/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped_octree-675c4214ea41a19b.d: crates/octree/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_octree-675c4214ea41a19b.rlib: crates/octree/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_octree-675c4214ea41a19b.rmeta: crates/octree/src/lib.rs
+
+crates/octree/src/lib.rs:

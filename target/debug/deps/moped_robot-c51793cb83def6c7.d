@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moped_robot-c51793cb83def6c7.d: crates/robot/src/lib.rs
+
+/root/repo/target/debug/deps/moped_robot-c51793cb83def6c7: crates/robot/src/lib.rs
+
+crates/robot/src/lib.rs:

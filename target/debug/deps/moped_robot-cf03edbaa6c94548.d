@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped_robot-cf03edbaa6c94548.d: crates/robot/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_robot-cf03edbaa6c94548.rlib: crates/robot/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_robot-cf03edbaa6c94548.rmeta: crates/robot/src/lib.rs
+
+crates/robot/src/lib.rs:

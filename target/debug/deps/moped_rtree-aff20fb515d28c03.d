@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moped_rtree-aff20fb515d28c03.d: crates/rtree/src/lib.rs
+
+/root/repo/target/debug/deps/moped_rtree-aff20fb515d28c03: crates/rtree/src/lib.rs
+
+crates/rtree/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped_rtree-c8ff7d490cad7c76.d: crates/rtree/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_rtree-c8ff7d490cad7c76.rlib: crates/rtree/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_rtree-c8ff7d490cad7c76.rmeta: crates/rtree/src/lib.rs
+
+crates/rtree/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/moped_service-3e4b229f0731cb97.d: crates/service/src/lib.rs crates/service/src/metrics.rs
+
+/root/repo/target/debug/deps/moped_service-3e4b229f0731cb97: crates/service/src/lib.rs crates/service/src/metrics.rs
+
+crates/service/src/lib.rs:
+crates/service/src/metrics.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/moped_service-6afd91867a6f43f0.d: crates/service/src/lib.rs crates/service/src/metrics.rs
+
+/root/repo/target/debug/deps/libmoped_service-6afd91867a6f43f0.rlib: crates/service/src/lib.rs crates/service/src/metrics.rs
+
+/root/repo/target/debug/deps/libmoped_service-6afd91867a6f43f0.rmeta: crates/service/src/lib.rs crates/service/src/metrics.rs
+
+crates/service/src/lib.rs:
+crates/service/src/metrics.rs:

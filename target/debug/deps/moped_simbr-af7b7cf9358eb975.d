@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped_simbr-af7b7cf9358eb975.d: crates/simbr/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_simbr-af7b7cf9358eb975.rlib: crates/simbr/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_simbr-af7b7cf9358eb975.rmeta: crates/simbr/src/lib.rs
+
+crates/simbr/src/lib.rs:

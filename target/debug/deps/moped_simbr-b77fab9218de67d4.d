@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moped_simbr-b77fab9218de67d4.d: crates/simbr/src/lib.rs
+
+/root/repo/target/debug/deps/moped_simbr-b77fab9218de67d4: crates/simbr/src/lib.rs
+
+crates/simbr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moped_viz-24e51ae37ff3a2c8.d: crates/viz/src/lib.rs
+
+/root/repo/target/debug/deps/moped_viz-24e51ae37ff3a2c8: crates/viz/src/lib.rs
+
+crates/viz/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/moped_viz-616cadc185874fdf.d: crates/viz/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_viz-616cadc185874fdf.rlib: crates/viz/src/lib.rs
+
+/root/repo/target/debug/deps/libmoped_viz-616cadc185874fdf.rmeta: crates/viz/src/lib.rs
+
+crates/viz/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-24fd6d8c374686da.d: crates/octree/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-24fd6d8c374686da: crates/octree/tests/properties.rs
+
+crates/octree/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-26ea0499b0e295dc.d: crates/hw/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-26ea0499b0e295dc: crates/hw/tests/properties.rs
+
+crates/hw/tests/properties.rs:

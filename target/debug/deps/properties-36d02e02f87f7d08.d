@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-36d02e02f87f7d08.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-36d02e02f87f7d08: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

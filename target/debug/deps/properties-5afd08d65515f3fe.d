@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5afd08d65515f3fe.d: crates/kdtree/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5afd08d65515f3fe: crates/kdtree/tests/properties.rs
+
+crates/kdtree/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-930a9f726d340ae5.d: crates/collision/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-930a9f726d340ae5: crates/collision/tests/properties.rs
+
+crates/collision/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9a8fe3facd70e93e.d: crates/rtree/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9a8fe3facd70e93e: crates/rtree/tests/properties.rs
+
+crates/rtree/tests/properties.rs:

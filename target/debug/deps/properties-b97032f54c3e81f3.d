@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b97032f54c3e81f3.d: crates/geometry/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b97032f54c3e81f3: crates/geometry/tests/properties.rs
+
+crates/geometry/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bd138e67bb07fdce.d: crates/simbr/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bd138e67bb07fdce: crates/simbr/tests/properties.rs
+
+crates/simbr/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantized_planning-518f6aee9761bb38.d: tests/quantized_planning.rs
+
+/root/repo/target/debug/deps/quantized_planning-518f6aee9761bb38: tests/quantized_planning.rs
+
+tests/quantized_planning.rs:

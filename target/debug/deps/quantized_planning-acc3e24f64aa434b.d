@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantized_planning-acc3e24f64aa434b.d: tests/quantized_planning.rs
+
+/root/repo/target/debug/deps/quantized_planning-acc3e24f64aa434b: tests/quantized_planning.rs
+
+tests/quantized_planning.rs:

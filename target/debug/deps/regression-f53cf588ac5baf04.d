@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression-f53cf588ac5baf04.d: tests/regression.rs
+
+/root/repo/target/debug/deps/regression-f53cf588ac5baf04: tests/regression.rs
+
+tests/regression.rs:

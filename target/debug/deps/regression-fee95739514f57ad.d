@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression-fee95739514f57ad.d: tests/regression.rs
+
+/root/repo/target/debug/deps/regression-fee95739514f57ad: tests/regression.rs
+
+tests/regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_integration-978b54f0c910ce63.d: crates/service/tests/service_integration.rs
+
+/root/repo/target/debug/deps/service_integration-978b54f0c910ce63: crates/service/tests/service_integration.rs
+
+crates/service/tests/service_integration.rs:

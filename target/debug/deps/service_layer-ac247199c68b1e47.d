@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_layer-ac247199c68b1e47.d: tests/service_layer.rs
+
+/root/repo/target/debug/deps/service_layer-ac247199c68b1e47: tests/service_layer.rs
+
+tests/service_layer.rs:

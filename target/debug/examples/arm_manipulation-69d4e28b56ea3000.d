@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arm_manipulation-69d4e28b56ea3000.d: examples/arm_manipulation.rs
+
+/root/repo/target/debug/examples/arm_manipulation-69d4e28b56ea3000: examples/arm_manipulation.rs
+
+examples/arm_manipulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arm_manipulation-fb3751651fc24252.d: examples/arm_manipulation.rs
+
+/root/repo/target/debug/examples/arm_manipulation-fb3751651fc24252: examples/arm_manipulation.rs
+
+examples/arm_manipulation.rs:

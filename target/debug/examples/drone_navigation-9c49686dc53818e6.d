@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drone_navigation-9c49686dc53818e6.d: examples/drone_navigation.rs
+
+/root/repo/target/debug/examples/drone_navigation-9c49686dc53818e6: examples/drone_navigation.rs
+
+examples/drone_navigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drone_navigation-bdfd54f9a118804c.d: examples/drone_navigation.rs
+
+/root/repo/target/debug/examples/drone_navigation-bdfd54f9a118804c: examples/drone_navigation.rs
+
+examples/drone_navigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_replanning-c98bb445ef69a7a7.d: examples/dynamic_replanning.rs
+
+/root/repo/target/debug/examples/dynamic_replanning-c98bb445ef69a7a7: examples/dynamic_replanning.rs
+
+examples/dynamic_replanning.rs:

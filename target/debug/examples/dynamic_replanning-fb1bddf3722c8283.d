@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_replanning-fb1bddf3722c8283.d: examples/dynamic_replanning.rs
+
+/root/repo/target/debug/examples/dynamic_replanning-fb1bddf3722c8283: examples/dynamic_replanning.rs
+
+examples/dynamic_replanning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hw_simulation-6afd9c888d79bfb2.d: examples/hw_simulation.rs
+
+/root/repo/target/debug/examples/hw_simulation-6afd9c888d79bfb2: examples/hw_simulation.rs
+
+examples/hw_simulation.rs:

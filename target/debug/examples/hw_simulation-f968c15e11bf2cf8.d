@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hw_simulation-f968c15e11bf2cf8.d: examples/hw_simulation.rs
+
+/root/repo/target/debug/examples/hw_simulation-f968c15e11bf2cf8: examples/hw_simulation.rs
+
+examples/hw_simulation.rs:

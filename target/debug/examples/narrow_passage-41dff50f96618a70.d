@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/narrow_passage-41dff50f96618a70.d: examples/narrow_passage.rs
+
+/root/repo/target/debug/examples/narrow_passage-41dff50f96618a70: examples/narrow_passage.rs
+
+examples/narrow_passage.rs:

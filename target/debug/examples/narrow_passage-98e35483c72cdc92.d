@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/narrow_passage-98e35483c72cdc92.d: examples/narrow_passage.rs
+
+/root/repo/target/debug/examples/narrow_passage-98e35483c72cdc92: examples/narrow_passage.rs
+
+examples/narrow_passage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_gallery-eb536aec30c3f49b.d: examples/plan_gallery.rs
+
+/root/repo/target/debug/examples/plan_gallery-eb536aec30c3f49b: examples/plan_gallery.rs
+
+examples/plan_gallery.rs:

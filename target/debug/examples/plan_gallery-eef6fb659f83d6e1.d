@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_gallery-eef6fb659f83d6e1.d: examples/plan_gallery.rs
+
+/root/repo/target/debug/examples/plan_gallery-eef6fb659f83d6e1: examples/plan_gallery.rs
+
+examples/plan_gallery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2238ec888a710a29.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2238ec888a710a29: examples/quickstart.rs
+
+examples/quickstart.rs:

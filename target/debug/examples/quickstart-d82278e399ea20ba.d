@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d82278e399ea20ba.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d82278e399ea20ba: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_batch-360e5092c6e81670.d: examples/service_batch.rs
+
+/root/repo/target/debug/examples/service_batch-360e5092c6e81670: examples/service_batch.rs
+
+examples/service_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-30a6495616a1a7a6.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-30a6495616a1a7a6: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moped-d9771555c1606269.d: src/lib.rs
+
+/root/repo/target/release/deps/libmoped-d9771555c1606269.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmoped-d9771555c1606269.rmeta: src/lib.rs
+
+src/lib.rs:

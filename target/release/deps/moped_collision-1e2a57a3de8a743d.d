@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/moped_collision-1e2a57a3de8a743d.d: crates/collision/src/lib.rs crates/collision/src/parallel.rs
+
+/root/repo/target/release/deps/libmoped_collision-1e2a57a3de8a743d.rlib: crates/collision/src/lib.rs crates/collision/src/parallel.rs
+
+/root/repo/target/release/deps/libmoped_collision-1e2a57a3de8a743d.rmeta: crates/collision/src/lib.rs crates/collision/src/parallel.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/parallel.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/moped_core-9914176e48732c74.d: crates/core/src/lib.rs crates/core/src/extensions.rs crates/core/src/index.rs crates/core/src/planner.rs crates/core/src/replan.rs crates/core/src/smooth.rs crates/core/src/variant.rs
+
+/root/repo/target/release/deps/libmoped_core-9914176e48732c74.rlib: crates/core/src/lib.rs crates/core/src/extensions.rs crates/core/src/index.rs crates/core/src/planner.rs crates/core/src/replan.rs crates/core/src/smooth.rs crates/core/src/variant.rs
+
+/root/repo/target/release/deps/libmoped_core-9914176e48732c74.rmeta: crates/core/src/lib.rs crates/core/src/extensions.rs crates/core/src/index.rs crates/core/src/planner.rs crates/core/src/replan.rs crates/core/src/smooth.rs crates/core/src/variant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/extensions.rs:
+crates/core/src/index.rs:
+crates/core/src/planner.rs:
+crates/core/src/replan.rs:
+crates/core/src/smooth.rs:
+crates/core/src/variant.rs:

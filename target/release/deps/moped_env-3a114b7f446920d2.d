@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/moped_env-3a114b7f446920d2.d: crates/env/src/lib.rs crates/env/src/catalog.rs crates/env/src/dynamic.rs
+
+/root/repo/target/release/deps/libmoped_env-3a114b7f446920d2.rlib: crates/env/src/lib.rs crates/env/src/catalog.rs crates/env/src/dynamic.rs
+
+/root/repo/target/release/deps/libmoped_env-3a114b7f446920d2.rmeta: crates/env/src/lib.rs crates/env/src/catalog.rs crates/env/src/dynamic.rs
+
+crates/env/src/lib.rs:
+crates/env/src/catalog.rs:
+crates/env/src/dynamic.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/moped_eval-b069dc36ac784b4c.d: crates/eval/src/lib.rs crates/eval/src/clearance.rs
+
+/root/repo/target/release/deps/libmoped_eval-b069dc36ac784b4c.rlib: crates/eval/src/lib.rs crates/eval/src/clearance.rs
+
+/root/repo/target/release/deps/libmoped_eval-b069dc36ac784b4c.rmeta: crates/eval/src/lib.rs crates/eval/src/clearance.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/clearance.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/moped_geometry-5b096429b8a8b440.d: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/config.rs crates/geometry/src/gjk.rs crates/geometry/src/mat3.rs crates/geometry/src/obb.rs crates/geometry/src/ops.rs crates/geometry/src/rect.rs crates/geometry/src/sat.rs crates/geometry/src/segment.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/release/deps/libmoped_geometry-5b096429b8a8b440.rlib: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/config.rs crates/geometry/src/gjk.rs crates/geometry/src/mat3.rs crates/geometry/src/obb.rs crates/geometry/src/ops.rs crates/geometry/src/rect.rs crates/geometry/src/sat.rs crates/geometry/src/segment.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/release/deps/libmoped_geometry-5b096429b8a8b440.rmeta: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/config.rs crates/geometry/src/gjk.rs crates/geometry/src/mat3.rs crates/geometry/src/obb.rs crates/geometry/src/ops.rs crates/geometry/src/rect.rs crates/geometry/src/sat.rs crates/geometry/src/segment.rs crates/geometry/src/vec3.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/aabb.rs:
+crates/geometry/src/config.rs:
+crates/geometry/src/gjk.rs:
+crates/geometry/src/mat3.rs:
+crates/geometry/src/obb.rs:
+crates/geometry/src/ops.rs:
+crates/geometry/src/rect.rs:
+crates/geometry/src/sat.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/vec3.rs:

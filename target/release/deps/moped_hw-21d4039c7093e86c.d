@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/moped_hw-21d4039c7093e86c.d: crates/hw/src/lib.rs crates/hw/src/banks.rs crates/hw/src/cache.rs crates/hw/src/cachesim.rs crates/hw/src/design.rs crates/hw/src/energy.rs crates/hw/src/engine.rs crates/hw/src/fixed.rs crates/hw/src/lfsr.rs crates/hw/src/params.rs crates/hw/src/perf.rs crates/hw/src/pipeline.rs crates/hw/src/satq.rs
+
+/root/repo/target/release/deps/libmoped_hw-21d4039c7093e86c.rlib: crates/hw/src/lib.rs crates/hw/src/banks.rs crates/hw/src/cache.rs crates/hw/src/cachesim.rs crates/hw/src/design.rs crates/hw/src/energy.rs crates/hw/src/engine.rs crates/hw/src/fixed.rs crates/hw/src/lfsr.rs crates/hw/src/params.rs crates/hw/src/perf.rs crates/hw/src/pipeline.rs crates/hw/src/satq.rs
+
+/root/repo/target/release/deps/libmoped_hw-21d4039c7093e86c.rmeta: crates/hw/src/lib.rs crates/hw/src/banks.rs crates/hw/src/cache.rs crates/hw/src/cachesim.rs crates/hw/src/design.rs crates/hw/src/energy.rs crates/hw/src/engine.rs crates/hw/src/fixed.rs crates/hw/src/lfsr.rs crates/hw/src/params.rs crates/hw/src/perf.rs crates/hw/src/pipeline.rs crates/hw/src/satq.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/banks.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/cachesim.rs:
+crates/hw/src/design.rs:
+crates/hw/src/energy.rs:
+crates/hw/src/engine.rs:
+crates/hw/src/fixed.rs:
+crates/hw/src/lfsr.rs:
+crates/hw/src/params.rs:
+crates/hw/src/perf.rs:
+crates/hw/src/pipeline.rs:
+crates/hw/src/satq.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moped_kdtree-10fdd829f1fec5a3.d: crates/kdtree/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_kdtree-10fdd829f1fec5a3.rlib: crates/kdtree/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_kdtree-10fdd829f1fec5a3.rmeta: crates/kdtree/src/lib.rs
+
+crates/kdtree/src/lib.rs:

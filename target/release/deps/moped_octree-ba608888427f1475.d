@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moped_octree-ba608888427f1475.d: crates/octree/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_octree-ba608888427f1475.rlib: crates/octree/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_octree-ba608888427f1475.rmeta: crates/octree/src/lib.rs
+
+crates/octree/src/lib.rs:

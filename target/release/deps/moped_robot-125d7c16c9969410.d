@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moped_robot-125d7c16c9969410.d: crates/robot/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_robot-125d7c16c9969410.rlib: crates/robot/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_robot-125d7c16c9969410.rmeta: crates/robot/src/lib.rs
+
+crates/robot/src/lib.rs:

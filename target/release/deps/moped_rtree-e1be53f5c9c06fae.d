@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moped_rtree-e1be53f5c9c06fae.d: crates/rtree/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_rtree-e1be53f5c9c06fae.rlib: crates/rtree/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_rtree-e1be53f5c9c06fae.rmeta: crates/rtree/src/lib.rs
+
+crates/rtree/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/moped_service-df9e60b6c611ad0e.d: crates/service/src/lib.rs crates/service/src/metrics.rs
+
+/root/repo/target/release/deps/libmoped_service-df9e60b6c611ad0e.rlib: crates/service/src/lib.rs crates/service/src/metrics.rs
+
+/root/repo/target/release/deps/libmoped_service-df9e60b6c611ad0e.rmeta: crates/service/src/lib.rs crates/service/src/metrics.rs
+
+crates/service/src/lib.rs:
+crates/service/src/metrics.rs:

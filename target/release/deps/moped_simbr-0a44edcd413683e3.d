@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moped_simbr-0a44edcd413683e3.d: crates/simbr/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_simbr-0a44edcd413683e3.rlib: crates/simbr/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_simbr-0a44edcd413683e3.rmeta: crates/simbr/src/lib.rs
+
+crates/simbr/src/lib.rs:

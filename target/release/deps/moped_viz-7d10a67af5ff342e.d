@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/moped_viz-7d10a67af5ff342e.d: crates/viz/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_viz-7d10a67af5ff342e.rlib: crates/viz/src/lib.rs
+
+/root/repo/target/release/deps/libmoped_viz-7d10a67af5ff342e.rmeta: crates/viz/src/lib.rs
+
+crates/viz/src/lib.rs:

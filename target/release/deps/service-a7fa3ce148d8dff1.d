@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service-a7fa3ce148d8dff1.d: crates/bench/benches/service.rs
+
+/root/repo/target/release/deps/service-a7fa3ce148d8dff1: crates/bench/benches/service.rs
+
+crates/bench/benches/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-d545875f763f28f2.d: examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-d545875f763f28f2: examples/probe_tmp.rs
+
+examples/probe_tmp.rs:

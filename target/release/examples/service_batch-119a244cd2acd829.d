@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/service_batch-119a244cd2acd829.d: examples/service_batch.rs
+
+/root/repo/target/release/examples/service_batch-119a244cd2acd829: examples/service_batch.rs
+
+examples/service_batch.rs:

@@ -7,7 +7,11 @@ use moped::env::catalog::{build, NamedScene};
 use moped::robot::Robot;
 
 fn params(samples: usize) -> PlannerParams {
-    PlannerParams { max_samples: samples, seed: 11, ..PlannerParams::default() }
+    PlannerParams {
+        max_samples: samples,
+        seed: 11,
+        ..PlannerParams::default()
+    }
 }
 
 #[test]
@@ -15,7 +19,11 @@ fn mobile_robot_solves_every_catalog_scene() {
     for scene in NamedScene::ALL {
         let s = build(scene, Robot::mobile_2d());
         let r = plan_variant(&s, Variant::V4Lci, &params(4000));
-        assert!(r.solved(), "{} should be solvable for the mobile robot", scene.name());
+        assert!(
+            r.solved(),
+            "{} should be solvable for the mobile robot",
+            scene.name()
+        );
         assert!(r.path_cost.is_finite());
     }
 }
@@ -65,5 +73,8 @@ fn arm_scenes_have_interference() {
             }
         }
     }
-    assert!(any_interference, "catalog scenes must interfere with the arm workspace");
+    assert!(
+        any_interference,
+        "catalog scenes must interfere with the arm workspace"
+    );
 }

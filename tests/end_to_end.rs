@@ -11,7 +11,11 @@ use moped::hw::{perf, pipeline};
 use moped::robot::Robot;
 
 fn quick(samples: usize, seed: u64) -> PlannerParams {
-    PlannerParams { max_samples: samples, seed, ..PlannerParams::default() }
+    PlannerParams {
+        max_samples: samples,
+        seed,
+        ..PlannerParams::default()
+    }
 }
 
 /// Every variant, every robot: the planner runs to budget, the returned
@@ -27,9 +31,8 @@ fn all_variants_all_robots_produce_sound_paths() {
             if let Some(path) = &r.path {
                 assert_eq!(path[0], s.start);
                 assert_eq!(*path.last().unwrap(), s.goal);
-                let steps = InterpolationSteps::with_resolution(
-                    (s.robot.steering_step() / 4.0).max(1e-3),
-                );
+                let steps =
+                    InterpolationSteps::with_resolution((s.robot.steering_step() / 4.0).max(1e-3));
                 for w in path.windows(2) {
                     for pose in moped::geometry::interpolate(&w[0], &w[1], &steps) {
                         assert!(
@@ -132,7 +135,11 @@ fn hardware_model_end_to_end() {
 fn speculation_is_functionally_equivalent_everywhere() {
     for robot in Robot::all_models() {
         let s = Scenario::generate(robot, &ScenarioParams::with_obstacles(16), 13);
-        let p = PlannerParams { max_samples: 150, seed: 4, ..PlannerParams::default() };
+        let p = PlannerParams {
+            max_samples: 150,
+            seed: 4,
+            ..PlannerParams::default()
+        };
         let rep = pipeline::verify_equivalence(&s, &p, 2);
         assert!(rep.equivalent, "S&R diverged on {}", s.robot.name());
     }
@@ -153,7 +160,10 @@ fn lfsr_sampler_feeds_collision_pipeline() {
             free += 1;
         }
     }
-    assert!(free > 100, "most of a 16-obstacle workspace is free: {free}/200");
+    assert!(
+        free > 100,
+        "most of a 16-obstacle workspace is free: {free}/200"
+    );
     assert!(ledger.first_stage.sat_queries > 0);
 }
 

@@ -11,7 +11,11 @@ use moped::hw::satq::QuantizedChecker;
 use moped::robot::Robot;
 
 fn params(samples: usize, seed: u64) -> PlannerParams {
-    PlannerParams { max_samples: samples, seed, ..PlannerParams::default() }
+    PlannerParams {
+        max_samples: samples,
+        seed,
+        ..PlannerParams::default()
+    }
 }
 
 /// The quantized planner must solve the same open scenes the float
@@ -29,17 +33,18 @@ fn quantized_planning_matches_float_planning() {
         );
         let float_checker = NaiveChecker::new(s.obstacles.clone());
         let quant_checker = QuantizedChecker::new(&s.obstacles);
-        let rf =
-            RrtStar::new(&s, &float_checker, SimbrIndex::moped(3), params(900, seed)).plan();
-        let rq =
-            RrtStar::new(&s, &quant_checker, SimbrIndex::moped(3), params(900, seed)).plan();
+        let rf = RrtStar::new(&s, &float_checker, SimbrIndex::moped(3), params(900, seed)).plan();
+        let rq = RrtStar::new(&s, &quant_checker, SimbrIndex::moped(3), params(900, seed)).plan();
         if rf.solved() && rq.solved() {
             both_solved += 1;
             f_cost += rf.path_cost;
             q_cost += rq.path_cost;
         }
     }
-    assert!(both_solved >= 3, "quantized planner should solve open scenes: {both_solved}/4");
+    assert!(
+        both_solved >= 3,
+        "quantized planner should solve open scenes: {both_solved}/4"
+    );
     assert!(
         q_cost < f_cost * 1.2 + 10.0,
         "16-bit path quality must stay close: {q_cost:.1} vs {f_cost:.1}"
@@ -52,14 +57,9 @@ fn quantized_planning_matches_float_planning() {
 #[test]
 fn quantized_paths_are_actually_safe() {
     for seed in [11u64, 13] {
-        let s = Scenario::generate(
-            Robot::drone_3d(),
-            &ScenarioParams::with_obstacles(16),
-            seed,
-        );
+        let s = Scenario::generate(Robot::drone_3d(), &ScenarioParams::with_obstacles(16), seed);
         let quant_checker = QuantizedChecker::new(&s.obstacles);
-        let mut planner =
-            RrtStar::new(&s, &quant_checker, SimbrIndex::moped(6), params(700, seed));
+        let mut planner = RrtStar::new(&s, &quant_checker, SimbrIndex::moped(6), params(700, seed));
         let r = planner.plan();
         if let Some(path) = &r.path {
             let steps = moped::geometry::InterpolationSteps::with_resolution(

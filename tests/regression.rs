@@ -12,7 +12,12 @@ use moped::hw::engine;
 use moped::robot::Robot;
 
 fn traced(samples: usize, seed: u64) -> PlannerParams {
-    PlannerParams { max_samples: samples, seed, trace_rounds: true, ..PlannerParams::default() }
+    PlannerParams {
+        max_samples: samples,
+        seed,
+        trace_rounds: true,
+        ..PlannerParams::default()
+    }
 }
 
 /// The headline algorithmic saving on the reference drone workload stays
@@ -23,8 +28,8 @@ fn algorithmic_saving_band() {
     let p = traced(1000, 1);
     let base = plan_variant(&s, Variant::V0Baseline, &p);
     let moped = plan_variant(&s, Variant::V4Lci, &p);
-    let saving = base.stats.total_ops().mac_equiv() as f64
-        / moped.stats.total_ops().mac_equiv() as f64;
+    let saving =
+        base.stats.total_ops().mac_equiv() as f64 / moped.stats.total_ops().mac_equiv() as f64;
     assert!(
         (3.0..60.0).contains(&saving),
         "drone@16obst saving drifted out of band: {saving:.1}"
@@ -35,7 +40,11 @@ fn algorithmic_saving_band() {
 /// direction and rough magnitude the paper reports.
 #[test]
 fn hardware_comparison_bands() {
-    let s = Scenario::generate(Robot::viperx_300(), &ScenarioParams::with_obstacles(16), 123);
+    let s = Scenario::generate(
+        Robot::viperx_300(),
+        &ScenarioParams::with_obstacles(16),
+        123,
+    );
     let p = PlannerParams {
         max_samples: 600,
         seed: 5,
@@ -58,7 +67,11 @@ fn hardware_comparison_bands() {
         "CODAcc speedup band: {:.1}",
         rep.vs_codacc.speedup
     );
-    assert!(rep.moped.latency_s < 5e-3, "latency {:.2e}s", rep.moped.latency_s);
+    assert!(
+        rep.moped.latency_s < 5e-3,
+        "latency {:.2e}s",
+        rep.moped.latency_s
+    );
     assert!(
         (1.0..=2.0).contains(&rep.pipeline.speedup()),
         "S&R band: {:.2}",
@@ -70,8 +83,16 @@ fn hardware_comparison_bands() {
 #[test]
 fn design_point_band() {
     let d = DesignPoint::default();
-    assert!((d.area_mm2() - 0.62).abs() < 0.08, "area {:.3}", d.area_mm2());
-    assert!((d.power_w() * 1e3 - 137.5).abs() < 8.0, "power {:.1}mW", d.power_w() * 1e3);
+    assert!(
+        (d.area_mm2() - 0.62).abs() < 0.08,
+        "area {:.3}",
+        d.area_mm2()
+    );
+    assert!(
+        (d.power_w() * 1e3 - 137.5).abs() < 8.0,
+        "power {:.1}mW",
+        d.power_w() * 1e3
+    );
     assert_eq!(d.macs(), 168);
     assert!((d.sram_kb() - 198.0).abs() < 1e-9);
 }
@@ -80,7 +101,11 @@ fn design_point_band() {
 /// arms collision-dominated, mobile search-dominated.
 #[test]
 fn fig3_structure_band() {
-    let p = PlannerParams { max_samples: 800, seed: 4, ..PlannerParams::default() };
+    let p = PlannerParams {
+        max_samples: 800,
+        seed: 4,
+        ..PlannerParams::default()
+    };
     let mobile = plan_variant(
         &Scenario::generate(Robot::mobile_2d(), &ScenarioParams::with_obstacles(16), 8),
         Variant::V0Baseline,

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the `criterion 0.5` API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop: each benchmark is
+//! warmed up, then timed over enough iterations to fill a measurement
+//! window, and the per-iteration mean/min are printed to stdout. No
+//! statistical analysis, plots, or HTML reports — the numbers are meant
+//! for relative comparisons within one run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered into the label (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id labelled by the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark label.
+pub trait IntoBenchmarkLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Drives the timing loop of a single benchmark.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    min_iter: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: how many iterations fit the window?
+        let cal_start = Instant::now();
+        black_box(routine());
+        let one = cal_start.elapsed().max(Duration::from_nanos(1));
+        let target = (self.measurement_time.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..target {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            self.elapsed += dt;
+            self.iters_done += 1;
+            if dt < self.min_iter {
+                self.min_iter = dt;
+            }
+        }
+    }
+}
+
+fn run_bench(label: &str, measurement_time: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        min_iter: Duration::MAX,
+        measurement_time,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{label:<40} (no iterations recorded)");
+        return;
+    }
+    let mean = b.elapsed / b.iters_done as u32;
+    println!(
+        "{label:<40} mean {:>12?}  min {:>12?}  ({} iters)",
+        mean, b.min_iter, b.iters_done
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&label.into_label(), self.measurement_time, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes statistics sample counts; here the knob shortens
+    /// or lengthens the measurement window proportionally (100 = 1x).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measurement_time = Duration::from_millis((500 * n as u64 / 100).max(50));
+        self
+    }
+
+    /// Sets the measurement window directly.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, label.into_label());
+        run_bench(&full, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        label: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, label.into_label());
+        run_bench(&full, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions runnable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}
