@@ -30,7 +30,7 @@ fn bench_lfsr(c: &mut Criterion) {
 }
 
 fn bench_fixed(c: &mut Criterion) {
-    let q = Config::new(&[10.3, -20.7, 150.0, 3.14, -2.71, 99.9, 0.001]);
+    let q = Config::new(&[10.3, -20.7, 150.0, 3.17, -2.71, 99.9, 0.001]);
     c.bench_function("quantize_config_7d", |b| {
         b.iter(|| black_box(QFormat::WORKSPACE.roundtrip_config(black_box(&q))))
     });

@@ -19,6 +19,7 @@ fn run_batch(workers: usize) -> usize {
             workers,
             queue_capacity: BATCH,
             stop_poll_every: 64,
+            ..Default::default()
         },
     );
     let requests = (0..BATCH).map(|i| {
@@ -31,7 +32,10 @@ fn run_batch(workers: usize) -> usize {
     });
     let responses = service.run_batch(requests);
     service.shutdown();
-    responses.iter().filter(|r| r.is_ok()).count()
+    responses
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|o| o.is_served()))
+        .count()
 }
 
 fn bench_worker_scaling(c: &mut Criterion) {

@@ -117,10 +117,11 @@ mod tests {
     use super::*;
 
     fn stats_with_depths(depths: &[u64]) -> SearchStats {
-        let mut s = SearchStats::default();
-        s.visits_by_depth = depths.to_vec();
-        s.nodes_visited = depths.iter().sum();
-        s
+        SearchStats {
+            visits_by_depth: depths.to_vec(),
+            nodes_visited: depths.iter().sum(),
+            ..SearchStats::default()
+        }
     }
 
     #[test]

@@ -121,6 +121,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity-pins the model's magnitudes
     fn constants_are_physical() {
         assert!(MAC_ENERGY_J > 0.0 && MAC_ENERGY_J < 1e-10);
         assert!(SRAM_WORD_ENERGY_J > CACHE_WORD_ENERGY_J);

@@ -1,10 +1,11 @@
-//! The MOPED serving layer: a concurrent batch planning engine.
+//! The MOPED serving layer: a concurrent, fault-tolerant batch planning
+//! engine.
 //!
 //! The core crates answer one plan request on one thread. This crate
 //! turns them into a *service*: many [`PlanRequest`]s are admitted into a
 //! bounded queue, scheduled across a fixed pool of worker threads, and
-//! answered with [`PlanResponse`]s carrying the planner's result plus
-//! queue/service timing. Design points:
+//! answered with [`PlanOutcome`]s carrying either the planner's result
+//! plus queue/service timing, or a typed failure. Design points:
 //!
 //! * **Shared immutable snapshots** — each environment is registered once
 //!   in an [`EnvironmentCatalog`]; its scenario and bulk-loaded obstacle
@@ -20,11 +21,23 @@
 //!   running away or killing a thread.
 //! * **Admission control** — the queue is bounded; a full queue rejects
 //!   with [`RejectReason::QueueFull`] rather than buffering unboundedly.
+//! * **Fault tolerance** — every planning attempt runs inside a panic
+//!   guard, so a panicking request resolves its ticket with a typed
+//!   [`PlanFailure`] instead of wedging the client; a supervisor thread
+//!   respawns workers that die outright, so capacity is never silently
+//!   lost; an optional bounded [`RetryPolicy`] re-attempts panicked
+//!   requests (with jittered backoff, and never blindly re-running a
+//!   panic that has already proven deterministic); and a compiled-in but
+//!   inert-by-default [`FaultPlan`] can inject panics, latency, and
+//!   forced rejections at named sites for chaos testing.
 //! * **Graceful shutdown** — [`PlanService::shutdown`] stops admission,
-//!   drains everything already queued, and joins the workers.
+//!   drains everything already queued, and joins the workers; every
+//!   outstanding ticket resolves, with a typed shutdown failure if the
+//!   whole pool died mid-drain.
 //! * **Observability** — a lock-free [`metrics::Metrics`] registry counts
-//!   every admission outcome, aggregates per-stage op ledgers, and tracks
-//!   latency in fixed-bucket histograms with text/JSON dumps.
+//!   every admission outcome (including failures, caught panics, retries,
+//!   and respawns), aggregates per-stage op ledgers, and tracks latency
+//!   in fixed-bucket histograms with text/JSON dumps.
 //!
 //! Only `std` is used: threads + channels, no external runtime.
 //!
@@ -40,7 +53,7 @@
 //! let service = PlanService::start(catalog, ServiceConfig { workers: 2, ..Default::default() });
 //! let params = PlannerParams { max_samples: 200, seed: 7, ..Default::default() };
 //! let ticket = service.submit(PlanRequest::new(env, params)).unwrap();
-//! let response = ticket.wait();
+//! let response = ticket.wait().into_result().expect("request served");
 //! assert!(response.result.stats.samples <= 200);
 //! let metrics = service.shutdown();
 //! assert_eq!(metrics.accepted(), 1);
@@ -48,27 +61,27 @@
 
 #![deny(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
+mod supervisor;
 
-use std::collections::HashMap;
+use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use moped_collision::{NaiveChecker, SecondStage, TwoStageChecker};
-use moped_core::{
-    variant_components, LinearIndex, PlanResult, PlanStats, PlannerParams, RrtStar, SimbrIndex,
-    Variant,
-};
+use moped_core::{PlanResult, PlannerParams, Variant};
 use moped_env::catalog::{build as build_scene, NamedScene};
 use moped_env::Scenario;
 use moped_robot::Robot;
 use moped_rtree::RTree;
 
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use metrics::Metrics;
+
+use supervisor::{Pool, WorkerShared};
 
 /// R-tree fanout used for environment snapshots (the paper's default).
 const SNAPSHOT_RTREE_FANOUT: usize = 4;
@@ -202,7 +215,7 @@ impl PlanRequest {
     }
 }
 
-/// How a request left the service.
+/// How a served request left the planner.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Outcome {
     /// Ran to its full sampling budget.
@@ -214,7 +227,7 @@ pub enum Outcome {
     Cancelled,
 }
 
-/// The answer to one [`PlanRequest`].
+/// The answer to one successfully served [`PlanRequest`].
 #[derive(Clone, Debug)]
 pub struct PlanResponse {
     /// Service-assigned request id (admission order).
@@ -227,10 +240,122 @@ pub struct PlanResponse {
     pub result: PlanResult,
     /// Time spent queued before a worker picked the request up.
     pub queue_wait: Duration,
-    /// Time spent planning (dequeue to response).
+    /// Time spent planning (dequeue to response), spanning every attempt
+    /// including retry backoff.
     pub service_time: Duration,
     /// Index of the worker that served the request.
     pub worker: usize,
+    /// Planning attempts consumed (1 unless earlier attempts panicked
+    /// and the retry policy re-ran the request).
+    pub attempts: u32,
+}
+
+/// Why an admitted request terminally failed instead of being served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureReason {
+    /// Every permitted planning attempt panicked; `message` is the last
+    /// panic payload.
+    Panic {
+        /// The panic payload, rendered as a string.
+        message: String,
+    },
+    /// The worker serving the request died before responding (its panic
+    /// escaped the per-job guard). The supervisor respawns the worker;
+    /// the request itself is not replayed.
+    WorkerDied,
+    /// The service shut down with the whole pool dead before any worker
+    /// picked the request up.
+    ShutdownDrained,
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureReason::Panic { message } => {
+                write!(f, "planning attempt panicked: {message}")
+            }
+            FailureReason::WorkerDied => write!(f, "the serving worker died before responding"),
+            FailureReason::ShutdownDrained => {
+                write!(f, "service shut down before the request was served")
+            }
+        }
+    }
+}
+
+/// A terminal failure: the request was admitted but no [`PlanResult`]
+/// exists for it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanFailure {
+    /// Service-assigned request id (admission order).
+    pub id: u64,
+    /// The environment the request targeted.
+    pub env: EnvId,
+    /// Why the request failed.
+    pub reason: FailureReason,
+    /// Planning attempts consumed before giving up (0 when no attempt
+    /// ran, e.g. a shutdown drain or a worker death).
+    pub attempts: u32,
+}
+
+impl fmt::Display for PlanFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request {} failed: {}", self.id, self.reason)
+    }
+}
+
+impl std::error::Error for PlanFailure {}
+
+/// The resolution of a [`PlanTicket`]: every admitted request ends in
+/// exactly one of these — a served response or a typed failure. The
+/// ticket API never panics and never hangs on a dead worker.
+// The size gap between variants is deliberate: an outcome is built once
+// per request and moved over the ticket channel exactly once, so boxing
+// the response would trade a single 500-byte move for a heap allocation
+// on the hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum PlanOutcome {
+    /// The planner produced a result (completed, deadline-expired, or
+    /// cancelled — see [`PlanResponse::outcome`]).
+    Served(PlanResponse),
+    /// The request terminally failed; see [`PlanFailure::reason`].
+    Failed(PlanFailure),
+}
+
+impl PlanOutcome {
+    /// Converts into a `Result`, for `?`-style handling.
+    pub fn into_result(self) -> Result<PlanResponse, PlanFailure> {
+        match self {
+            PlanOutcome::Served(response) => Ok(response),
+            PlanOutcome::Failed(failure) => Err(failure),
+        }
+    }
+
+    /// The served response, if any.
+    pub fn response(&self) -> Option<&PlanResponse> {
+        match self {
+            PlanOutcome::Served(response) => Some(response),
+            PlanOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<&PlanFailure> {
+        match self {
+            PlanOutcome::Served(_) => None,
+            PlanOutcome::Failed(failure) => Some(failure),
+        }
+    }
+
+    /// Whether the request was served with a planner result.
+    pub fn is_served(&self) -> bool {
+        matches!(self, PlanOutcome::Served(_))
+    }
+
+    /// Whether the request terminally failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PlanOutcome::Failed(_))
+    }
 }
 
 /// Why a request was refused at admission.
@@ -261,8 +386,63 @@ impl fmt::Display for RejectReason {
 
 impl std::error::Error for RejectReason {}
 
+/// Bounded retry for panicked planning attempts. Off by default
+/// (`max_attempts == 1`).
+///
+/// Retries are never blind: planning is deterministic in
+/// `(environment, variant, params)`, so when two consecutive attempts
+/// panic with an identical message the failure has proven itself
+/// deterministic and the worker gives up immediately, whatever
+/// `max_attempts` allows. Backoff between attempts is
+/// `backoff + U[0, jitter)`, with the jitter drawn deterministically
+/// from the `(request id, attempt)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total planning attempts per request, including the first;
+    /// 1 disables retries. Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Fixed pause before each retry attempt.
+    pub backoff: Duration,
+    /// Upper bound of the extra uniformly distributed pause added to
+    /// `backoff`.
+    pub jitter: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// No retries, no backoff.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            jitter: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts with no backoff.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the fixed backoff between attempts.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the jitter bound added to the backoff.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+}
+
 /// Service tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Worker threads in the pool.
     pub workers: usize,
@@ -270,25 +450,40 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// How many sampling rounds between deadline/cancellation polls.
     pub stop_poll_every: usize,
+    /// Retry policy for panicked planning attempts (off by default).
+    pub retry: RetryPolicy,
+    /// Optional fault-injection plan (chaos testing); `None` — the
+    /// default — makes the harness completely inert.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
-    /// 4 workers, a 64-deep queue, polling every 64 rounds.
+    /// 4 workers, a 64-deep queue, polling every 64 rounds, no retries,
+    /// no fault injection.
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
             queue_capacity: 64,
             stop_poll_every: 64,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 }
 
-/// A pending request: await the response, or cancel the work.
+/// A pending request: await the resolution, or cancel the work.
+///
+/// Every ticket resolves exactly once — with a served response, or with
+/// a typed [`PlanFailure`] if the request panicked, its worker died, or
+/// the service shut down around it. Neither [`wait`](PlanTicket::wait)
+/// nor [`poll`](PlanTicket::poll) ever panics or hangs on a dead worker.
 #[derive(Debug)]
 pub struct PlanTicket {
     id: u64,
+    env: EnvId,
     cancel: Arc<AtomicBool>,
-    rx: Receiver<PlanResponse>,
+    rx: Receiver<PlanOutcome>,
+    resolved: Cell<bool>,
 }
 
 impl PlanTicket {
@@ -297,48 +492,72 @@ impl PlanTicket {
         self.id
     }
 
-    /// Requests cooperative cancellation; the response (best-so-far) still
-    /// arrives through [`PlanTicket::wait`].
+    /// Requests cooperative cancellation; the resolution (best-so-far)
+    /// still arrives through [`PlanTicket::wait`].
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::Relaxed);
     }
 
-    /// Blocks until the response arrives.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the serving worker disappeared without responding
-    /// (a worker panic — a bug, not a load condition).
-    pub fn wait(self) -> PlanResponse {
+    /// Blocks until the request resolves. If the serving worker died
+    /// without responding, this returns a [`FailureReason::WorkerDied`]
+    /// failure instead of panicking.
+    pub fn wait(self) -> PlanOutcome {
         self.rx
             .recv()
-            .expect("worker always responds before exiting")
+            .unwrap_or_else(|_| PlanOutcome::Failed(self.disconnect_failure()))
     }
 
-    /// Returns the response if it is already available.
-    pub fn poll(&self) -> Option<PlanResponse> {
-        self.rx.try_recv().ok()
+    /// Returns the resolution if it is already available, without
+    /// blocking. Yields `Some` exactly once: `None` before resolution
+    /// and again after the resolution has been taken. A worker that died
+    /// without responding resolves the ticket with a terminal
+    /// [`FailureReason::WorkerDied`] failure rather than leaving the
+    /// caller polling forever.
+    pub fn poll(&self) -> Option<PlanOutcome> {
+        if self.resolved.get() {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(outcome) => {
+                self.resolved.set(true);
+                Some(outcome)
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                self.resolved.set(true);
+                Some(PlanOutcome::Failed(self.disconnect_failure()))
+            }
+        }
+    }
+
+    fn disconnect_failure(&self) -> PlanFailure {
+        PlanFailure {
+            id: self.id,
+            env: self.env,
+            reason: FailureReason::WorkerDied,
+            attempts: 0,
+        }
     }
 }
 
 /// One unit of queued work.
-struct Job {
-    id: u64,
-    env_id: EnvId,
-    env: Arc<EnvSnapshot>,
-    variant: Variant,
-    params: PlannerParams,
-    deadline_at: Option<Instant>,
-    cancel: Arc<AtomicBool>,
-    enqueued: Instant,
-    respond: mpsc::Sender<PlanResponse>,
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) env_id: EnvId,
+    pub(crate) env: Arc<EnvSnapshot>,
+    pub(crate) variant: Variant,
+    pub(crate) params: PlannerParams,
+    pub(crate) deadline_at: Option<Instant>,
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) enqueued: Instant,
+    pub(crate) respond: mpsc::Sender<PlanOutcome>,
 }
 
 /// The concurrent batch planning engine. See the crate docs for the
 /// architecture; construct with [`PlanService::start`].
 pub struct PlanService {
     queue: Option<SyncSender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    pool: Pool,
     metrics: Arc<Metrics>,
     catalog: Arc<EnvironmentCatalog>,
     next_id: AtomicU64,
@@ -346,27 +565,25 @@ pub struct PlanService {
 }
 
 impl PlanService {
-    /// Spawns the worker pool and starts admitting requests.
+    /// Spawns the worker pool (plus its supervisor) and starts admitting
+    /// requests.
     pub fn start(catalog: EnvironmentCatalog, config: ServiceConfig) -> Self {
+        supervisor::install_quiet_panic_hook();
         let workers_n = config.workers.max(1);
         let metrics = Arc::new(Metrics::default());
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
-        let shared_rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(workers_n);
-        for worker_idx in 0..workers_n {
-            let rx = Arc::clone(&shared_rx);
-            let metrics = Arc::clone(&metrics);
-            let poll_every = config.stop_poll_every.max(1);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("moped-worker-{worker_idx}"))
-                    .spawn(move || worker_loop(worker_idx, rx, metrics, poll_every))
-                    .expect("spawning a worker thread"),
-            );
-        }
+        let shared = Arc::new(WorkerShared {
+            rx: Mutex::new(rx),
+            metrics: Arc::clone(&metrics),
+            poll_every: config.stop_poll_every.max(1),
+            retry: config.retry,
+            faults: config.faults.clone(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let pool = Pool::start(workers_n, shared);
         PlanService {
             queue: Some(tx),
-            workers,
+            pool,
             metrics,
             catalog: Arc::new(catalog),
             next_id: AtomicU64::new(0),
@@ -385,6 +602,18 @@ impl PlanService {
         Arc::clone(&self.metrics)
     }
 
+    /// The configured pool size.
+    pub fn worker_count(&self) -> usize {
+        self.config.workers.max(1)
+    }
+
+    /// Worker threads currently running. Transiently below
+    /// [`worker_count`](PlanService::worker_count) between a worker death
+    /// and its supervisor respawn; equal to it in steady state.
+    pub fn alive_workers(&self) -> usize {
+        self.pool.alive()
+    }
+
     /// Admits one request. O(1): resolves the environment snapshot and
     /// enqueues; planning happens on a worker. Rejection (with reason) is
     /// immediate when the queue is full, the environment is unknown, or
@@ -398,6 +627,28 @@ impl PlanService {
             self.metrics.inc_rejected();
             return Err(RejectReason::UnknownEnvironment);
         };
+        // Admission-site fault injection (inert unless configured). A
+        // `Panic` rule here unwinds the *calling* thread, by design.
+        if let Some(plan) = self.config.faults.as_deref() {
+            match plan.fire(FaultSite::Admission) {
+                None => {}
+                Some(FaultKind::QueueFull) => {
+                    self.metrics.inc_faults_injected();
+                    self.metrics.inc_rejected();
+                    return Err(RejectReason::QueueFull {
+                        capacity: self.config.queue_capacity.max(1),
+                    });
+                }
+                Some(FaultKind::Delay(d)) => {
+                    self.metrics.inc_faults_injected();
+                    std::thread::sleep(d);
+                }
+                Some(FaultKind::Panic) => {
+                    self.metrics.inc_faults_injected();
+                    panic!("{}", FaultPlan::panic_message(FaultSite::Admission));
+                }
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel();
@@ -413,32 +664,44 @@ impl PlanService {
             enqueued: now,
             respond: tx,
         };
+        // The gauge must go up *before* the job becomes visible to the
+        // pool: a worker can dequeue and decrement within nanoseconds of
+        // `try_send` returning, and the decrement clamps at zero — an
+        // increment arriving after it would strand the gauge at 1.
+        self.metrics.queue_entered();
         match queue.try_send(job) {
             Ok(()) => {
                 self.metrics.inc_accepted();
-                self.metrics.queue_entered();
-                Ok(PlanTicket { id, cancel, rx })
+                Ok(PlanTicket {
+                    id,
+                    env: request.env,
+                    cancel,
+                    rx,
+                    resolved: Cell::new(false),
+                })
             }
             Err(TrySendError::Full(_)) => {
+                self.metrics.queue_left();
                 self.metrics.inc_rejected();
                 Err(RejectReason::QueueFull {
                     capacity: self.config.queue_capacity.max(1),
                 })
             }
             Err(TrySendError::Disconnected(_)) => {
+                self.metrics.queue_left();
                 self.metrics.inc_rejected();
                 Err(RejectReason::ShuttingDown)
             }
         }
     }
 
-    /// Submits a batch and blocks until every admitted request responds.
+    /// Submits a batch and blocks until every admitted request resolves.
     /// Per-request admission failures are reported in place; order
     /// matches the input.
     pub fn run_batch(
         &self,
         requests: impl IntoIterator<Item = PlanRequest>,
-    ) -> Vec<Result<PlanResponse, RejectReason>> {
+    ) -> Vec<Result<PlanOutcome, RejectReason>> {
         let tickets: Vec<Result<PlanTicket, RejectReason>> =
             requests.into_iter().map(|r| self.submit(r)).collect();
         tickets
@@ -449,138 +712,31 @@ impl PlanService {
 
     /// Stops admission, drains every queued request, joins the workers,
     /// and returns the metrics registry. Outstanding [`PlanTicket`]s all
-    /// receive their responses before this returns.
+    /// resolve before this returns — with drained responses in the
+    /// normal case, or typed shutdown failures if the whole pool died
+    /// mid-drain.
     pub fn shutdown(mut self) -> Arc<Metrics> {
         self.drain_and_join();
         Arc::clone(&self.metrics)
     }
 
     fn drain_and_join(&mut self) {
+        // Stop the supervisor first so graceful worker exits below are
+        // not mistaken for deaths and respawned.
+        self.pool.begin_shutdown();
         // Dropping the sender closes the queue; workers drain what was
         // already admitted, then their recv() errors out and they exit.
         self.queue = None;
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.pool.join_workers();
+        // If every worker died before the queue emptied, resolve the
+        // leftovers with typed failures so no ticket ever hangs.
+        self.pool.fail_leftovers();
     }
 }
 
 impl Drop for PlanService {
     fn drop(&mut self) {
         self.drain_and_join();
-    }
-}
-
-/// A worker: pull a job, plan it, respond, repeat until the queue closes.
-fn worker_loop(
-    worker_idx: usize,
-    rx: Arc<Mutex<Receiver<Job>>>,
-    metrics: Arc<Metrics>,
-    poll_every: usize,
-) {
-    // Per-worker cache of two-stage checkers: the R-tree inside is a
-    // structural clone of the snapshot's shared build (no re-sort), and
-    // the scratch buffers stay thread-local, keeping the checker hot
-    // across requests to the same environment.
-    let mut checkers: HashMap<EnvId, TwoStageChecker> = HashMap::new();
-    loop {
-        let job = {
-            let guard = rx.lock().expect("queue receiver poisoned");
-            guard.recv()
-        };
-        let Ok(job) = job else {
-            break; // queue closed and drained: graceful exit
-        };
-        metrics.queue_left();
-        let started = Instant::now();
-        let queue_wait = started.duration_since(job.enqueued);
-        metrics.queue_wait.record(queue_wait);
-
-        let result = execute(&job, &mut checkers, poll_every, started);
-        let outcome = if result.stats.stopped_early {
-            if job.cancel.load(Ordering::Relaxed) {
-                metrics.inc_cancelled();
-                Outcome::Cancelled
-            } else {
-                metrics.inc_deadline_expired();
-                Outcome::DeadlineExpired
-            }
-        } else {
-            metrics.inc_completed();
-            Outcome::Completed
-        };
-        metrics.record_stats(&result.stats, result.solved());
-        let service_time = started.elapsed();
-        metrics.service_latency.record(service_time);
-
-        // A dropped ticket just discards the response.
-        let _ = job.respond.send(PlanResponse {
-            id: job.id,
-            env: job.env_id,
-            outcome,
-            result,
-            queue_wait,
-            service_time,
-            worker: worker_idx,
-        });
-    }
-}
-
-/// Runs one request's plan, wiring the variant's kernel stack exactly
-/// like `moped_core::plan_variant` (so results are byte-identical to a
-/// serial run) but reusing the shared R-tree snapshot for the two-stage
-/// checker.
-fn execute(
-    job: &Job,
-    checkers: &mut HashMap<EnvId, TwoStageChecker>,
-    poll_every: usize,
-    started: Instant,
-) -> PlanResult {
-    // Deadline already blown while queued: answer immediately with an
-    // empty best-so-far result instead of burning worker time.
-    if job.deadline_at.is_some_and(|d| started >= d) {
-        let mut stats = PlanStats::default();
-        stats.stopped_early = true;
-        return PlanResult {
-            path: None,
-            path_cost: f64::INFINITY,
-            stats,
-        };
-    }
-
-    let scenario = &job.env.scenario;
-    let dim = scenario.robot.dof();
-    let (two_stage, simbr, sias, lci) = variant_components(job.variant);
-    let cancel = Arc::clone(&job.cancel);
-    let deadline_at = job.deadline_at;
-    let stop =
-        move || cancel.load(Ordering::Relaxed) || deadline_at.is_some_and(|d| Instant::now() >= d);
-
-    // The naive checker only exists for baseline-variant comparisons; the
-    // serving path proper is the cached two-stage checker.
-    let naive;
-    let checker: &dyn moped_collision::CollisionChecker = if two_stage {
-        checkers.entry(job.env_id).or_insert_with(|| {
-            TwoStageChecker::with_prebuilt(
-                job.env.rtree.clone(),
-                scenario.obstacles.clone(),
-                SecondStage::ObbExact,
-            )
-        })
-    } else {
-        naive = NaiveChecker::new(scenario.obstacles.clone());
-        &naive
-    };
-
-    if simbr {
-        let index = SimbrIndex::new(dim, 6, sias, lci);
-        RrtStar::new(scenario, checker, index, job.params.clone())
-            .with_stop_hook(poll_every, stop)
-            .plan()
-    } else {
-        RrtStar::new(scenario, checker, LinearIndex::new(), job.params.clone())
-            .with_stop_hook(poll_every, stop)
-            .plan()
     }
 }
 
@@ -637,15 +793,33 @@ mod tests {
         let ticket = service
             .submit(PlanRequest::new(env, small_params(300, 3)))
             .unwrap();
-        let response = ticket.wait();
+        let response = ticket.wait().into_result().expect("served");
         assert_eq!(response.outcome, Outcome::Completed);
         assert_eq!(response.result.stats.samples, 300);
+        assert_eq!(response.attempts, 1);
         assert!(!response.result.stats.stopped_early);
         let metrics = service.shutdown();
         assert_eq!(metrics.accepted(), 1);
         assert_eq!(metrics.completed(), 1);
+        assert_eq!(metrics.failed(), 0);
         assert_eq!(metrics.queue_depth(), 0);
         assert_eq!(metrics.service_latency.count(), 1);
+    }
+
+    #[test]
+    fn pool_reports_full_capacity_when_healthy() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(service.worker_count(), 3);
+        assert_eq!(service.alive_workers(), 3);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.worker_respawns(), 0);
     }
 
     #[test]
@@ -666,7 +840,7 @@ mod tests {
             .unwrap();
         std::thread::sleep(Duration::from_millis(30));
         ticket.cancel();
-        let response = ticket.wait();
+        let response = ticket.wait().into_result().expect("served");
         assert_eq!(response.outcome, Outcome::Cancelled);
         assert!(response.result.stats.stopped_early);
         assert!(response.result.stats.samples < 50_000_000);
@@ -684,6 +858,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
                 stop_poll_every: 16,
+                ..Default::default()
             },
         );
         // One long job occupies the worker; capacity-1 queue holds one
@@ -697,19 +872,24 @@ mod tests {
             .unwrap();
         let mut saw_full = false;
         for seed in 3..13 {
-            match service.submit(PlanRequest::new(env, small_params(10, seed))) {
-                Err(RejectReason::QueueFull { capacity }) => {
-                    assert_eq!(capacity, 1);
-                    saw_full = true;
-                    break;
-                }
-                Ok(_) | Err(_) => {}
+            if let Err(RejectReason::QueueFull { capacity }) =
+                service.submit(PlanRequest::new(env, small_params(10, seed)))
+            {
+                assert_eq!(capacity, 1);
+                saw_full = true;
+                break;
             }
         }
         assert!(saw_full, "bounded queue must reject when full");
         hog.cancel();
-        assert_eq!(hog.wait().outcome, Outcome::Cancelled);
-        assert_eq!(queued.wait().outcome, Outcome::Completed);
+        assert_eq!(
+            hog.wait().into_result().unwrap().outcome,
+            Outcome::Cancelled
+        );
+        assert_eq!(
+            queued.wait().into_result().unwrap().outcome,
+            Outcome::Completed
+        );
         let metrics = service.shutdown();
         assert!(metrics.rejected() >= 1);
     }
@@ -724,6 +904,7 @@ mod tests {
                 workers: 2,
                 queue_capacity: 32,
                 stop_poll_every: 64,
+                ..Default::default()
             },
         );
         let tickets: Vec<PlanTicket> = (0..8)
@@ -734,7 +915,10 @@ mod tests {
             })
             .collect();
         let metrics = service.shutdown(); // must drain, not drop, the 8 jobs
-        let responses: Vec<PlanResponse> = tickets.into_iter().map(PlanTicket::wait).collect();
+        let responses: Vec<PlanResponse> = tickets
+            .into_iter()
+            .map(|t| t.wait().into_result().expect("drained, not dropped"))
+            .collect();
         assert_eq!(responses.len(), 8);
         assert!(responses.iter().all(|r| r.outcome == Outcome::Completed));
         assert_eq!(metrics.accepted(), 8);
@@ -754,9 +938,37 @@ mod tests {
             },
         );
         let req = PlanRequest::new(env, small_params(150, 5)).with_variant(Variant::V0Baseline);
-        let response = service.submit(req).unwrap().wait();
+        let response = service.submit(req).unwrap().wait().into_result().unwrap();
         assert_eq!(response.outcome, Outcome::Completed);
         assert_eq!(response.result.stats.samples, 150);
+        service.shutdown();
+    }
+
+    #[test]
+    fn poll_reports_pending_then_resolution() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let env = cat.find("open-meadow").unwrap();
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let ticket = service
+            .submit(PlanRequest::new(env, small_params(100, 4)))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let outcome = loop {
+            if let Some(outcome) = ticket.poll() {
+                break outcome;
+            }
+            assert!(Instant::now() < deadline, "poll must resolve");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert!(outcome.is_served());
+        // The resolution was taken; later polls report nothing new.
+        assert!(ticket.poll().is_none());
         service.shutdown();
     }
 }

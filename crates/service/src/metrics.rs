@@ -110,9 +110,13 @@ impl LatencyHistogram {
 /// The service-wide metrics registry.
 ///
 /// Request accounting obeys `accepted = completed + deadline_expired +
-/// cancelled + in_flight_or_queued`; `rejected` counts admissions that
-/// never entered the queue. After a drain (`PlanService::shutdown`) the
-/// in-flight term is zero, which the integration tests assert.
+/// cancelled + failed + in_flight_or_queued`; `rejected` counts
+/// admissions that never entered the queue. After a drain
+/// (`PlanService::shutdown`) the in-flight term is zero, which the
+/// integration tests assert. The one exception: a request whose worker
+/// died before responding resolves *client-side* (as a `WorkerDied`
+/// failure on the ticket) and is counted by no terminal counter here —
+/// `worker_respawns` is the server-side trace of those events.
 #[derive(Debug, Default)]
 pub struct Metrics {
     accepted: AtomicU64,
@@ -120,6 +124,11 @@ pub struct Metrics {
     completed: AtomicU64,
     deadline_expired: AtomicU64,
     cancelled: AtomicU64,
+    failed: AtomicU64,
+    panics_caught: AtomicU64,
+    retries: AtomicU64,
+    worker_respawns: AtomicU64,
+    faults_injected: AtomicU64,
     queue_depth: AtomicU64,
     samples: AtomicU64,
     nodes: AtomicU64,
@@ -160,6 +169,20 @@ impl Metrics {
         deadline_expired / inc_deadline_expired,
         /// Requests cut short by explicit cancellation.
         cancelled / inc_cancelled,
+        /// Requests resolved as typed failures (exhausted panicking
+        /// attempts, or a shutdown drain with the pool dead).
+        failed / inc_failed,
+        /// Planning attempts that panicked and were caught by the
+        /// worker's per-job guard.
+        panics_caught / inc_panics_caught,
+        /// Retry attempts scheduled after a caught panic.
+        retries / inc_retries,
+        /// Worker threads respawned by the supervisor after an
+        /// unexpected death.
+        worker_respawns / inc_worker_respawns,
+        /// Faults fired by the configured `FaultPlan` (always zero when
+        /// the harness is unconfigured).
+        faults_injected / inc_faults_injected,
     }
 
     /// Requests currently queued (admitted, not yet dequeued).
@@ -172,7 +195,12 @@ impl Metrics {
     }
 
     pub(crate) fn queue_left(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // Guarded decrement: a crash-recovery path (worker death,
+        // shutdown drain) may try to balance an increment that never
+        // happened; clamping at zero beats wrapping to u64::MAX.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
     }
 
     /// Requests whose response carried a start-to-goal path.
@@ -233,7 +261,12 @@ impl Metrics {
             self.deadline_expired().to_string(),
         );
         kv("requests_cancelled", self.cancelled().to_string());
+        kv("requests_failed", self.failed().to_string());
         kv("requests_solved", self.solved().to_string());
+        kv("panics_caught", self.panics_caught().to_string());
+        kv("retries", self.retries().to_string());
+        kv("worker_respawns", self.worker_respawns().to_string());
+        kv("faults_injected", self.faults_injected().to_string());
         kv("queue_depth", self.queue_depth().to_string());
         kv("samples_total", self.samples().to_string());
         kv(
@@ -284,7 +317,12 @@ impl Metrics {
                 self.deadline_expired().to_string(),
             ),
             ("requests_cancelled".into(), self.cancelled().to_string()),
+            ("requests_failed".into(), self.failed().to_string()),
             ("requests_solved".into(), self.solved().to_string()),
+            ("panics_caught".into(), self.panics_caught().to_string()),
+            ("retries".into(), self.retries().to_string()),
+            ("worker_respawns".into(), self.worker_respawns().to_string()),
+            ("faults_injected".into(), self.faults_injected().to_string()),
             ("queue_depth".into(), self.queue_depth().to_string()),
             ("samples_total".into(), self.samples().to_string()),
             ("macs_collision".into(), cc.to_string()),
@@ -345,12 +383,36 @@ mod tests {
         assert_eq!(h.quantile(0.99), Duration::from_secs(30));
     }
 
+    /// Percentile estimation on an *empty* histogram is fully defined:
+    /// every quantile (including the extremes), the mean, and the max
+    /// are exactly zero — no division by the zero count, no garbage
+    /// bucket bound.
     #[test]
     fn empty_histogram_is_zero() {
         let h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Duration::ZERO, "q={q}");
+        }
         assert_eq!(h.mean(), Duration::ZERO);
         assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn queue_depth_gauge_never_underflows() {
+        let m = Metrics::default();
+        // An unmatched decrement (panic/early-reject recovery path)
+        // must clamp at zero, not wrap to u64::MAX.
+        m.queue_left();
+        assert_eq!(m.queue_depth(), 0);
+        m.queue_entered();
+        m.queue_entered();
+        m.queue_left();
+        m.queue_left();
+        m.queue_left();
+        assert_eq!(m.queue_depth(), 0);
+        m.queue_entered();
+        assert_eq!(m.queue_depth(), 1);
     }
 
     #[test]
@@ -358,13 +420,24 @@ mod tests {
         let m = Metrics::default();
         m.inc_accepted();
         m.inc_completed();
+        m.inc_failed();
+        m.inc_panics_caught();
+        m.inc_retries();
+        m.inc_worker_respawns();
         m.service_latency.record(Duration::from_millis(3));
         let text = m.dump_text();
         assert!(text.contains("requests_accepted 1"));
         assert!(text.contains("requests_completed 1"));
+        assert!(text.contains("requests_failed 1"));
+        assert!(text.contains("panics_caught 1"));
+        assert!(text.contains("retries 1"));
+        assert!(text.contains("worker_respawns 1"));
+        assert!(text.contains("faults_injected 0"));
         let json = m.dump_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"requests_accepted\":1"));
+        assert!(json.contains("\"requests_failed\":1"));
+        assert!(json.contains("\"worker_respawns\":1"));
         assert!(json.contains("\"latency_buckets\":["));
     }
 }

@@ -1,0 +1,471 @@
+//! Worker-pool supervision and the panic-isolated worker loop.
+//!
+//! Each planning attempt runs inside `catch_unwind`, so a panicking
+//! request resolves as a typed [`PlanOutcome::Failed`] response instead
+//! of taking the worker (and every in-flight ticket) with it. Panics
+//! that do escape the guard — deliberate worker-kill faults, or bugs in
+//! the loop itself — are absorbed by the supervisor: a monitor thread
+//! joins the dead worker and respawns a replacement in the same slot,
+//! so pool capacity is never silently lost.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex, MutexGuard, Once, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use moped_collision::{NaiveChecker, SecondStage, TwoStageChecker};
+use moped_core::{variant_components, LinearIndex, PlanResult, PlanStats, RrtStar, SimbrIndex};
+
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
+use crate::metrics::Metrics;
+use crate::{
+    EnvId, FailureReason, Job, Outcome, PlanFailure, PlanOutcome, PlanResponse, RetryPolicy,
+};
+
+/// How often the monitor thread scans the pool for dead workers.
+const MONITOR_POLL: Duration = Duration::from_millis(2);
+
+/// State shared by every worker, the monitor, and the service handle.
+pub(crate) struct WorkerShared {
+    /// The pool side of the bounded admission queue.
+    pub(crate) rx: Mutex<Receiver<Job>>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) poll_every: usize,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
+    /// Set (before the queue closes) to tell the monitor that worker
+    /// exits are expected and must not trigger respawns.
+    pub(crate) shutting_down: AtomicBool,
+}
+
+/// Locks a mutex, recovering the guard if a worker died while holding
+/// it — the receiver and handle table carry no invariants a panic could
+/// have broken, and refusing the lock would wedge the whole pool.
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Set around code whose panics are expected (the per-job guard,
+    /// injected worker kills) so the process-wide hook stays silent for
+    /// them while genuine panics elsewhere still report normally.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// panics the serving layer expects and handles; all other panics are
+/// forwarded to the previously installed hook.
+pub(crate) fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` under `catch_unwind` with panic output suppressed.
+fn catch_quietly<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
+    QUIET_PANICS.with(|q| q.set(true));
+    let out = panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET_PANICS.with(|q| q.set(false));
+    out
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The worker pool plus its monitor thread.
+pub(crate) struct Pool {
+    slots: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    monitor: Option<JoinHandle<()>>,
+    shared: Arc<WorkerShared>,
+}
+
+impl Pool {
+    /// Spawns `workers` worker threads and the monitor that keeps that
+    /// many alive until shutdown.
+    pub(crate) fn start(workers: usize, shared: Arc<WorkerShared>) -> Self {
+        let slots: Vec<Option<JoinHandle<()>>> = (0..workers)
+            .map(|idx| Some(spawn_worker(idx, &shared)))
+            .collect();
+        let slots = Arc::new(Mutex::new(slots));
+        let monitor = {
+            let slots = Arc::clone(&slots);
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("moped-supervisor".into())
+                .spawn(move || monitor_loop(&slots, &shared))
+                .expect("spawning the supervisor thread")
+        };
+        Pool {
+            slots,
+            monitor: Some(monitor),
+            shared,
+        }
+    }
+
+    /// Number of worker threads currently running.
+    pub(crate) fn alive(&self) -> usize {
+        lock_ignore_poison(&self.slots)
+            .iter()
+            .filter(|slot| slot.as_ref().is_some_and(|h| !h.is_finished()))
+            .count()
+    }
+
+    /// Marks the pool as shutting down and stops the monitor, so worker
+    /// exits from here on are treated as expected (no respawns).
+    pub(crate) fn begin_shutdown(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(monitor) = self.monitor.take() {
+            monitor.thread().unpark();
+            let _ = monitor.join();
+        }
+    }
+
+    /// Joins every worker thread. Call after the queue is closed.
+    pub(crate) fn join_workers(&mut self) {
+        let handles: Vec<JoinHandle<()>> = lock_ignore_poison(&self.slots)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Resolves any jobs still sitting in the queue after every worker
+    /// has exited (possible only when the whole pool died during a
+    /// drain): each leftover ticket gets a typed shutdown failure
+    /// instead of hanging forever.
+    pub(crate) fn fail_leftovers(&self) {
+        let rx = lock_ignore_poison(&self.shared.rx);
+        while let Ok(job) = rx.try_recv() {
+            self.shared.metrics.queue_left();
+            self.shared.metrics.inc_failed();
+            let _ = job.respond.send(PlanOutcome::Failed(PlanFailure {
+                id: job.id,
+                env: job.env_id,
+                reason: FailureReason::ShutdownDrained,
+                attempts: 0,
+            }));
+        }
+    }
+}
+
+/// Monitor: scan the pool, join any dead worker, respawn it in place.
+fn monitor_loop(slots: &Mutex<Vec<Option<JoinHandle<()>>>>, shared: &Arc<WorkerShared>) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        {
+            let mut slots = lock_ignore_poison(slots);
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                if slot.as_ref().is_some_and(|h| h.is_finished()) {
+                    // Join result intentionally discarded: the worker is
+                    // dead either way, and the panic payload (if any) was
+                    // already surfaced through the job's ticket.
+                    let _ = slot.take().expect("slot checked above").join();
+                    shared.metrics.inc_worker_respawns();
+                    *slot = Some(spawn_worker(idx, shared));
+                }
+            }
+        }
+        thread::park_timeout(MONITOR_POLL);
+    }
+}
+
+fn spawn_worker(worker_idx: usize, shared: &Arc<WorkerShared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("moped-worker-{worker_idx}"))
+        .spawn(move || worker_loop(worker_idx, &shared))
+        .expect("spawning a worker thread")
+}
+
+/// Fires any configured fault at a site that lies *outside* the per-job
+/// panic guard: an injected panic here unwinds the worker thread itself
+/// (quietly — the death is the point, not the backtrace).
+fn apply_worker_fault(shared: &WorkerShared, site: FaultSite) {
+    let Some(plan) = shared.faults.as_deref() else {
+        return;
+    };
+    match plan.fire(site) {
+        None | Some(FaultKind::QueueFull) => {}
+        Some(FaultKind::Delay(d)) => {
+            shared.metrics.inc_faults_injected();
+            thread::sleep(d);
+        }
+        Some(FaultKind::Panic) => {
+            shared.metrics.inc_faults_injected();
+            QUIET_PANICS.with(|q| q.set(true));
+            panic!("{}", FaultPlan::panic_message(site));
+        }
+    }
+}
+
+/// A worker: pull a job, serve it (panic-isolated, with retries), repeat
+/// until the queue closes.
+fn worker_loop(worker_idx: usize, shared: &Arc<WorkerShared>) {
+    // Per-worker cache of two-stage checkers: the R-tree inside is a
+    // structural clone of the snapshot's shared build (no re-sort), and
+    // the scratch buffers stay thread-local, keeping the checker hot
+    // across requests to the same environment.
+    let mut checkers: HashMap<EnvId, TwoStageChecker> = HashMap::new();
+    loop {
+        let job = {
+            let guard = lock_ignore_poison(&shared.rx);
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            break; // queue closed and drained: graceful exit
+        };
+        serve_job(worker_idx, job, shared, &mut checkers);
+    }
+}
+
+/// Serves one job: planning attempts under `catch_unwind`, bounded
+/// retries per policy, and exactly one response on the ticket channel —
+/// unless a worker-kill fault fires, in which case the dropped channel
+/// itself resolves the ticket as `WorkerDied`.
+fn serve_job(
+    worker_idx: usize,
+    job: Job,
+    shared: &WorkerShared,
+    checkers: &mut HashMap<EnvId, TwoStageChecker>,
+) {
+    let metrics = &shared.metrics;
+    metrics.queue_left();
+    let started = Instant::now();
+    let queue_wait = started.duration_since(job.enqueued);
+    metrics.queue_wait.record(queue_wait);
+
+    apply_worker_fault(shared, FaultSite::Dequeue);
+
+    let mut attempt: u32 = 0;
+    let mut last_panic: Option<String> = None;
+    let result = loop {
+        attempt += 1;
+        let attempt_result = catch_quietly(|| {
+            if let Some(plan) = shared.faults.as_deref() {
+                match plan.fire(FaultSite::Planning) {
+                    None | Some(FaultKind::QueueFull) => {}
+                    Some(FaultKind::Delay(d)) => {
+                        metrics.inc_faults_injected();
+                        thread::sleep(d);
+                    }
+                    Some(FaultKind::Panic) => {
+                        metrics.inc_faults_injected();
+                        panic!("{}", FaultPlan::panic_message(FaultSite::Planning));
+                    }
+                }
+            }
+            execute(&job, checkers, shared.poll_every, started)
+        });
+        match attempt_result {
+            Ok(result) => break result,
+            Err(payload) => {
+                let message = panic_message(payload);
+                metrics.inc_panics_caught();
+                // The cached checker may have been mid-use when the
+                // attempt unwound; rebuild it from the immutable
+                // snapshot rather than trust its scratch state.
+                checkers.remove(&job.env_id);
+
+                // Planning is deterministic in (env, variant, params),
+                // so a repeat of the *same* panic will not heal on its
+                // own: retry once to rule out a transient cause, then
+                // give up as soon as the failure proves itself stable.
+                let identical = last_panic.as_deref() == Some(message.as_str());
+                let deadline_blown = job.deadline_at.is_some_and(|d| Instant::now() >= d);
+                if attempt < shared.retry.max_attempts && !identical && !deadline_blown {
+                    metrics.inc_retries();
+                    last_panic = Some(message);
+                    let pause = retry_pause(&shared.retry, job.id, attempt);
+                    if !pause.is_zero() {
+                        thread::sleep(pause);
+                    }
+                    continue;
+                }
+
+                metrics.inc_failed();
+                metrics.service_latency.record(started.elapsed());
+                apply_worker_fault(shared, FaultSite::Respond);
+                // A dropped ticket just discards the response.
+                let _ = job.respond.send(PlanOutcome::Failed(PlanFailure {
+                    id: job.id,
+                    env: job.env_id,
+                    reason: FailureReason::Panic { message },
+                    attempts: attempt,
+                }));
+                return;
+            }
+        }
+    };
+
+    let outcome = if result.stats.stopped_early {
+        if job.cancel.load(Ordering::Relaxed) {
+            metrics.inc_cancelled();
+            Outcome::Cancelled
+        } else {
+            metrics.inc_deadline_expired();
+            Outcome::DeadlineExpired
+        }
+    } else {
+        metrics.inc_completed();
+        Outcome::Completed
+    };
+    metrics.record_stats(&result.stats, result.solved());
+    // Spans every attempt, including retry backoff.
+    let service_time = started.elapsed();
+    metrics.service_latency.record(service_time);
+
+    apply_worker_fault(shared, FaultSite::Respond);
+    let _ = job.respond.send(PlanOutcome::Served(PlanResponse {
+        id: job.id,
+        env: job.env_id,
+        outcome,
+        result,
+        queue_wait,
+        service_time,
+        worker: worker_idx,
+        attempts: attempt,
+    }));
+}
+
+/// Backoff before retry `attempt` of job `id`: the fixed base plus a
+/// deterministic per-(job, attempt) fraction of the jitter bound.
+fn retry_pause(policy: &RetryPolicy, id: u64, attempt: u32) -> Duration {
+    let mut pause = policy.backoff;
+    if !policy.jitter.is_zero() {
+        let mut state = id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt));
+        pause += policy.jitter.mul_f64(splitmix64(&mut state));
+    }
+    pause
+}
+
+/// One step of splitmix64, folded to a float in `[0, 1)`.
+fn splitmix64(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Runs one request's plan, wiring the variant's kernel stack exactly
+/// like `moped_core::plan_variant` (so results are byte-identical to a
+/// serial run) but reusing the shared R-tree snapshot for the two-stage
+/// checker.
+fn execute(
+    job: &Job,
+    checkers: &mut HashMap<EnvId, TwoStageChecker>,
+    poll_every: usize,
+    started: Instant,
+) -> PlanResult {
+    // Deadline already blown while queued: answer immediately with an
+    // empty best-so-far result instead of burning worker time.
+    if job.deadline_at.is_some_and(|d| started >= d) {
+        return PlanResult {
+            path: None,
+            path_cost: f64::INFINITY,
+            stats: PlanStats {
+                stopped_early: true,
+                ..PlanStats::default()
+            },
+        };
+    }
+
+    let scenario = &job.env.scenario;
+    let dim = scenario.robot.dof();
+    let (two_stage, simbr, sias, lci) = variant_components(job.variant);
+    let cancel = Arc::clone(&job.cancel);
+    let deadline_at = job.deadline_at;
+    let stop =
+        move || cancel.load(Ordering::Relaxed) || deadline_at.is_some_and(|d| Instant::now() >= d);
+
+    // The naive checker only exists for baseline-variant comparisons; the
+    // serving path proper is the cached two-stage checker.
+    let naive;
+    let checker: &dyn moped_collision::CollisionChecker = if two_stage {
+        checkers.entry(job.env_id).or_insert_with(|| {
+            TwoStageChecker::with_prebuilt(
+                job.env.rtree.clone(),
+                scenario.obstacles.clone(),
+                SecondStage::ObbExact,
+            )
+        })
+    } else {
+        naive = NaiveChecker::new(scenario.obstacles.clone());
+        &naive
+    };
+
+    if simbr {
+        let index = SimbrIndex::new(dim, 6, sias, lci);
+        RrtStar::new(scenario, checker, index, job.params.clone())
+            .with_stop_hook(poll_every, stop)
+            .plan()
+    } else {
+        RrtStar::new(scenario, checker, LinearIndex::new(), job.params.clone())
+            .with_stop_hook(poll_every, stop)
+            .plan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_unit_range() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let (x, y) = (splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(x, y);
+        assert!((0.0..1.0).contains(&x));
+        // Streams advance.
+        assert_ne!(splitmix64(&mut a), x);
+    }
+
+    #[test]
+    fn retry_pause_is_bounded_by_backoff_plus_jitter() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(4),
+            jitter: Duration::from_millis(2),
+        };
+        for id in 0..64u64 {
+            let p = retry_pause(&policy, id, 1);
+            assert!(p >= Duration::from_millis(4));
+            assert!(p < Duration::from_millis(6));
+        }
+        // Deterministic per (id, attempt).
+        assert_eq!(retry_pause(&policy, 7, 2), retry_pause(&policy, 7, 2));
+    }
+
+    #[test]
+    fn panic_messages_downcast() {
+        install_quiet_panic_hook();
+        let p = catch_quietly(|| panic!("boom")).unwrap_err();
+        assert_eq!(panic_message(p), "boom");
+        let p = catch_quietly(|| panic!("{}", String::from("owned"))).unwrap_err();
+        assert_eq!(panic_message(p), "owned");
+    }
+}

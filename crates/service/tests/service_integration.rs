@@ -48,6 +48,7 @@ fn concurrent_batch_matches_serial_bit_for_bit() {
             workers: 4,
             queue_capacity: BATCH,
             stop_poll_every: 64,
+            ..Default::default()
         },
     );
     let responses = service.run_batch(requests);
@@ -57,6 +58,7 @@ fn concurrent_batch_matches_serial_bit_for_bit() {
     let mut workers_seen = std::collections::HashSet::new();
     for (i, (resp, reference)) in responses.iter().zip(&serial).enumerate() {
         let resp = resp.as_ref().expect("batch fits the queue");
+        let resp = resp.response().expect("no faults configured: served");
         assert_eq!(resp.outcome, Outcome::Completed, "request {i}");
         // Bit-identical, not approximately equal: same RNG stream, same
         // kernels, same tree.
@@ -108,6 +110,7 @@ fn repeated_batches_are_reproducible() {
                 workers: 4,
                 queue_capacity: BATCH,
                 stop_poll_every: 32,
+                ..Default::default()
             },
         );
         let responses = service.run_batch(requests);
@@ -115,7 +118,7 @@ fn repeated_batches_are_reproducible() {
         responses
             .into_iter()
             .map(|r| {
-                let r = r.unwrap();
+                let r = r.unwrap().into_result().unwrap();
                 (
                     r.result.path_cost.to_bits(),
                     r.result.stats.samples,
@@ -139,6 +142,7 @@ fn deadline_is_enforced_with_best_so_far_result() {
             workers: 2,
             queue_capacity: 8,
             stop_poll_every: 32,
+            ..Default::default()
         },
     );
 
@@ -151,7 +155,7 @@ fn deadline_is_enforced_with_best_so_far_result() {
     let ticket = service
         .submit(PlanRequest::new(env, params).with_deadline(Duration::from_millis(25)))
         .unwrap();
-    let response = ticket.wait();
+    let response = ticket.wait().into_result().expect("served");
 
     assert_eq!(response.outcome, Outcome::DeadlineExpired);
     assert!(response.result.stats.stopped_early);
@@ -181,6 +185,7 @@ fn deadline_expired_in_queue_short_circuits() {
             workers: 1,
             queue_capacity: 8,
             stop_poll_every: 32,
+            ..Default::default()
         },
     );
     let hog_params = PlannerParams {
@@ -200,9 +205,12 @@ fn deadline_expired_in_queue_short_circuits() {
         .unwrap();
     std::thread::sleep(Duration::from_millis(30));
     hog.cancel();
-    assert_eq!(hog.wait().outcome, Outcome::Cancelled);
+    assert_eq!(
+        hog.wait().into_result().unwrap().outcome,
+        Outcome::Cancelled
+    );
 
-    let response = starved.wait();
+    let response = starved.wait().into_result().expect("served");
     assert_eq!(response.outcome, Outcome::DeadlineExpired);
     assert!(response.result.path.is_none());
     assert_eq!(response.result.stats.samples, 0);
@@ -222,6 +230,7 @@ fn metrics_sum_correctly_over_mixed_batch() {
             workers: 4,
             queue_capacity: BATCH,
             stop_poll_every: 32,
+            ..Default::default()
         },
     );
 
@@ -267,7 +276,10 @@ fn metrics_sum_correctly_over_mixed_batch() {
     for &idx in &cancel_ids {
         tickets[idx].cancel();
     }
-    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().into_result().expect("served"))
+        .collect();
     let metrics = service.shutdown();
 
     let completed = responses
@@ -347,6 +359,7 @@ fn variant_ladder_matches_serial_through_service() {
             workers: 2,
             queue_capacity: 8,
             stop_poll_every: 64,
+            ..Default::default()
         },
     );
     let responses = service.run_batch(
@@ -357,7 +370,7 @@ fn variant_ladder_matches_serial_through_service() {
     service.shutdown();
 
     for ((resp, reference), variant) in responses.iter().zip(&serial).zip(&variants) {
-        let resp = resp.as_ref().unwrap();
+        let resp = resp.as_ref().unwrap().response().expect("served");
         assert_eq!(
             resp.result.path_cost.to_bits(),
             reference.path_cost.to_bits(),

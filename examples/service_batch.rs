@@ -11,7 +11,9 @@ use std::time::Duration;
 
 use moped::core::PlannerParams;
 use moped::robot::Robot;
-use moped::service::{EnvironmentCatalog, Outcome, PlanRequest, PlanService, ServiceConfig};
+use moped::service::{
+    EnvironmentCatalog, Outcome, PlanOutcome, PlanRequest, PlanService, ServiceConfig,
+};
 
 fn main() {
     let catalog = EnvironmentCatalog::standard(&Robot::mobile_2d());
@@ -25,12 +27,14 @@ fn main() {
         workers: 4,
         queue_capacity: 64,
         stop_poll_every: 64,
+        ..Default::default()
     };
+    let workers = config.workers;
     let service = PlanService::start(catalog, config);
     println!(
         "serving {} environments on {} workers\n",
         env_ids.len(),
-        config.workers
+        workers
     );
 
     // 32 requests round-robined over the catalog, each with its own seed.
@@ -61,7 +65,7 @@ fn main() {
     println!(" req  environment       outcome          solved  cost      samples  worker");
     for (i, resp) in responses.iter().enumerate() {
         match resp {
-            Ok(r) => {
+            Ok(PlanOutcome::Served(r)) => {
                 let outcome = match r.outcome {
                     Outcome::Completed => "completed",
                     Outcome::DeadlineExpired => "deadline-expired",
@@ -78,6 +82,7 @@ fn main() {
                     r.worker,
                 );
             }
+            Ok(PlanOutcome::Failed(f)) => println!("{:4}  failed: {}", f.id, f.reason),
             Err(reason) => println!("{i:4}  rejected: {reason}"),
         }
     }

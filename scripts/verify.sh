@@ -20,4 +20,7 @@ cargo test -q --workspace
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "verify: OK"

@@ -36,11 +36,12 @@ fn batch_is_deterministic_and_deadlines_bite() {
             workers: 4,
             queue_capacity: 16,
             stop_poll_every: 32,
+            ..Default::default()
         },
     );
     let responses = service.run_batch(requests);
     for (resp, reference) in responses.iter().zip(&serial) {
-        let resp = resp.as_ref().unwrap();
+        let resp = resp.as_ref().unwrap().response().expect("served");
         assert_eq!(resp.outcome, Outcome::Completed);
         assert_eq!(resp.result.path_cost.to_bits(), reference.to_bits());
     }
@@ -56,7 +57,7 @@ fn batch_is_deterministic_and_deadlines_bite() {
     let ticket = service
         .submit(PlanRequest::new(env, params).with_deadline(Duration::from_millis(15)))
         .unwrap();
-    let late = ticket.wait();
+    let late = ticket.wait().into_result().expect("served");
     assert_eq!(late.outcome, Outcome::DeadlineExpired);
     assert!(late.result.stats.stopped_early);
     assert!(late.result.stats.samples < 50_000_000);

@@ -372,7 +372,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         fn ranges_and_maps(v in even(), f in -1.0..1.0f64, b in any::<bool>()) {
-            prop_assert!(v % 2 == 0);
+            prop_assert!(v.is_multiple_of(2));
             prop_assert!((-1.0..1.0).contains(&f));
             let _ = b;
         }
