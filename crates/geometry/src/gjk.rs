@@ -219,7 +219,10 @@ pub fn distance(a: &Obb, b: &Obb, ops: &mut OpCount) -> GjkResult {
         }
         simplex.push(s);
         closest = closest_on_simplex(&mut simplex, ops);
-        if simplex.len() == 4 && closest == Vec3::ZERO {
+        // Exact `closest == Vec3::ZERO` would hinge on one rounding chain
+        // hitting 0.0 bit-for-bit; the loop-head `d2 < eps` test would
+        // catch the same containment one iteration later anyway.
+        if simplex.len() == 4 && closest.norm_sq() < eps {
             return GjkResult {
                 distance: 0.0,
                 intersecting: true,

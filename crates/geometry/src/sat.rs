@@ -55,6 +55,8 @@ pub fn obb_obb(a: &Obb, b: &Obb, ops: &mut OpCount) -> bool {
 /// rotation — no change-of-basis product is paid — and each of the nine
 /// cross-product axes reduces to a two-component test. Increments
 /// `ops.sat_queries`.
+// Indexed loops mirror the paper's per-axis SAT tables; iterator chains
+// would obscure the i/j axis pairing the comments refer to.
 #[allow(clippy::needless_range_loop)]
 pub fn aabb_obb(a: &Aabb, b: &Obb, ops: &mut OpCount) -> bool {
     ops.sat_queries += 1;
@@ -129,6 +131,7 @@ pub fn aabb_obb(a: &Aabb, b: &Obb, ops: &mut OpCount) -> bool {
 }
 
 /// Full 15-axis 3D OBB–OBB SAT (Ericson §4.4.1).
+// Indexed loops keep the i/j axis indices aligned with Ericson's tables.
 #[allow(clippy::needless_range_loop)]
 fn obb_obb_3d(a: &Obb, b: &Obb, ops: &mut OpCount) -> bool {
     let ha = [a.half_extents().x, a.half_extents().y, a.half_extents().z];

@@ -89,6 +89,8 @@ impl PipelineReport {
 /// The FIFO high-water mark and the number of collision-check completions
 /// within one NS interval (the MNB occupancy) are tracked so the §IV-B
 /// sizing claims (20-deep FIFO, 5-entry MNB) can be checked.
+// Cycle-indexed loops mirror the pipeline diagram; enumerate() chains
+// would hide which stage owns which cycle offset.
 #[allow(clippy::needless_range_loop)]
 pub fn simulate(rounds: &[RoundCycles]) -> PipelineReport {
     let mut report = PipelineReport {

@@ -95,6 +95,7 @@ const ANG_FRAC: u32 = 13; // Q2.13
 /// the radius side of every comparison, biasing disagreements toward
 /// *reporting contact* (a false positive merely costs path quality; a
 /// false negative would collide the robot).
+// Indexed loops keep the i/j axis indices aligned with the SAT tables.
 #[allow(clippy::needless_range_loop)]
 pub fn obb_obb_q(a: &QObb, b: &QObb, ops: &mut OpCount) -> bool {
     ops.sat_queries += 1;

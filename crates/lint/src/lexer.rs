@@ -1,0 +1,593 @@
+//! A hand-rolled Rust lexer: the token stream behind every `moped-lint`
+//! rule.
+//!
+//! The workspace builds offline, so the engine cannot lean on `syn` or
+//! `proc-macro2`; instead this module tokenizes Rust source directly.
+//! It is deliberately *not* a full parser — rules match shallow token
+//! sequences — but the lexer must be exact about the things that would
+//! otherwise cause false findings:
+//!
+//! * comments (line, block, **nested** block) are trivia, collected
+//!   separately so the pragma layer and the `allow-without-reason` rule
+//!   can see them;
+//! * string literals (plain, raw with any `#` count, byte, C) never
+//!   leak identifiers — `"Instant::now"` inside a string is data, not a
+//!   call;
+//! * char literals and lifetimes are disambiguated (`'a'` vs `&'a str`);
+//! * numbers are classified int vs float (so the float-hygiene rule can
+//!   reason about `x == 1.0` without flagging `n == 4`).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`Instant`, `fn`, `unwrap`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.0`, `2.5e-3`, `1f64`).
+    Float,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, with multi-char operators kept whole (`==`, `::`).
+    Punct,
+}
+
+/// One token: classification, verbatim text, and the 1-based line it
+/// starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// The token's source text (operators verbatim, literals including
+    /// their quotes/prefixes).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A comment, kept out of the token stream but preserved for pragma
+/// parsing and comment-adjacency checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (`== line` for line comments).
+    pub end_line: u32,
+    /// Comment body without the `//` / `/* */` markers, untrimmed.
+    pub text: String,
+    /// `true` for `// …`, `false` for `/* … */`.
+    pub is_line: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All non-trivia tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so the greedy match below
+/// picks `..=` over `..` over `.`.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenizes `src`, separating trivia (comments) from tokens.
+///
+/// The lexer never fails: malformed input (an unterminated string, a
+/// stray byte) degrades to best-effort tokens rather than an error, so
+/// the engine can still lint the rest of the file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn text_since(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = self.text_since(start);
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(start, line),
+                _ => self.punct(start, line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump(); // /
+        self.bump(); // /
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.text_since(start);
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            is_line: true,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump(); // /
+        self.bump(); // *
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                end = self.pos;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        if depth != 0 {
+            end = self.pos; // unterminated: comment runs to EOF
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            is_line: false,
+        });
+    }
+
+    /// Consumes a `"…"` string body assuming the opening quote is next.
+    fn string(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // opening "
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump(); // escaped char, whatever it is
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, and raw
+    /// identifiers (`r#fn`). Returns `true` if it consumed anything;
+    /// `false` means the `r`/`b` is an ordinary identifier start.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let mut ahead = 1; // past the r/b
+        let first = self.peek(0).unwrap_or(0);
+        if first == b'b' && self.peek(1) == Some(b'r') {
+            ahead = 2;
+        }
+        // Count raw-string hashes.
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some(b'#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        match self.peek(ahead) {
+            Some(b'"')
+                if first == b'r' || ahead > 1 || hashes > 0 || self.peek(1) == Some(b'"') =>
+            {
+                // r"…", r#"…"#, br"…", b"…": consume prefix then body.
+                for _ in 0..=ahead {
+                    self.bump();
+                }
+                if hashes == 0 && !(first == b'r' || ahead == 2) {
+                    // b"…" — escapes allowed, delegate to plain scanning.
+                    while let Some(b) = self.bump() {
+                        match b {
+                            b'\\' => {
+                                self.bump();
+                            }
+                            b'"' => break,
+                            _ => {}
+                        }
+                    }
+                } else {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    loop {
+                        match self.bump() {
+                            None => break,
+                            Some(b'"') => {
+                                let mut n = 0;
+                                while n < hashes && self.peek(0) == Some(b'#') {
+                                    self.bump();
+                                    n += 1;
+                                }
+                                if n == hashes {
+                                    break;
+                                }
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            Some(b'\'') if first == b'b' && hashes == 0 && ahead == 1 => {
+                // b'x' byte literal.
+                self.bump(); // b
+                self.quote();
+                // Re-tag: `quote` pushed a Char/Lifetime without the prefix;
+                // merge the prefix into its text.
+                let text = self.text_since(start);
+                if let Some(last) = self.out.tokens.last_mut() {
+                    last.kind = TokenKind::Char;
+                    last.text = text;
+                    last.line = line;
+                }
+                true
+            }
+            Some(c) if hashes == 1 && first == b'r' && is_ident_start(c) => {
+                // Raw identifier r#ident.
+                self.bump(); // r
+                self.bump(); // #
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, start, line);
+                true
+            }
+            _ => {
+                if is_ident_start(first) {
+                    self.ident(start, line);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) with the opening
+    /// quote still pending.
+    fn quote(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // '
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape then closing quote.
+                self.bump();
+                self.bump();
+                while let Some(b) = self.peek(0) {
+                    // Multi-char escapes (\u{…}, \x41) run to the quote.
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                if self.peek(1) == Some(b'\'') {
+                    // 'a'
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Char, start, line);
+                } else {
+                    // Lifetime: consume the identifier, no closing quote.
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+            }
+            Some(_) => {
+                // Non-ident char literal: '(', '7', ' ', …
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            None => self.push(TokenKind::Char, start, line),
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            // Radix literal: always an int.
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            self.push(TokenKind::Int, start, line);
+            return;
+        }
+        self.digits();
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                // `1..4` is a range, `1.max(2)` a method call, `x.0` is
+                // handled elsewhere — only a digit or nothing continues
+                // the float.
+                Some(b'0'..=b'9') => {
+                    float = true;
+                    self.bump();
+                    self.digits();
+                }
+                Some(c) if c == b'.' || is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    self.bump(); // trailing-dot float `1.`
+                }
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+            if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                if sign == 1 {
+                    self.bump();
+                }
+                self.digits();
+            }
+        }
+        // Type suffix (u32, f64, …) decides floatness when present.
+        if self.peek(0).is_some_and(is_ident_start) {
+            let suffix_start = self.pos;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            if self.src[suffix_start] == b'f' {
+                float = true;
+            }
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, start, line);
+    }
+
+    fn digits(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn punct(&mut self, start: usize, line: u32) {
+        for op in MULTI_PUNCT {
+            let bytes = op.as_bytes();
+            if self.src[self.pos..].starts_with(bytes) {
+                for _ in 0..bytes.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        self.bump();
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let l = lex(r#"let s = "Instant::now() inside";"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r##"let s = r#"a "quoted" HashMap"# ;"##);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(l.tokens.iter().any(|t| t.is_punct(";")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        assert_eq!(
+            kinds("1.0 2 0x1F 1e5 1.5e-3 1f64 3u32")
+                .iter()
+                .map(|(k, _)| *k)
+                .collect::<Vec<_>>(),
+            [
+                TokenKind::Float,
+                TokenKind::Int,
+                TokenKind::Int,
+                TokenKind::Float,
+                TokenKind::Float,
+                TokenKind::Float,
+                TokenKind::Int,
+            ]
+        );
+        // `1..4` is int-dotdot-int, not floats.
+        let k = kinds("1..4");
+        assert_eq!(k[0].0, TokenKind::Int);
+        assert_eq!(k[1].1, "..");
+        assert_eq!(k[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn multi_char_operators_stay_whole() {
+        let k = kinds("a == b != c :: d -> e");
+        let puncts: Vec<_> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn line_comment_text_and_position() {
+        let l = lex("x // moped-lint: allow(foo) reason\ny");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].text, " moped-lint: allow(foo) reason");
+        assert!(l.comments[0].is_line);
+    }
+
+    #[test]
+    fn byte_literals_and_raw_idents() {
+        let l = lex("let x = b'a'; let r#fn = 1; let s = b\"bytes\";");
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Char));
+        assert!(l.tokens.iter().any(|t| t.is_ident("r#fn")));
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Str));
+    }
+}

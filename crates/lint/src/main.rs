@@ -1,0 +1,121 @@
+//! The `moped-lint` CLI.
+//!
+//! ```text
+//! moped-lint [--json] [--deny warnings] [--list-rules] [--root <path>]
+//! ```
+//!
+//! Exits non-zero when any error-severity finding remains (with
+//! `--deny warnings`, warnings count), so `scripts/verify.sh` and CI can
+//! gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use moped_lint::{lint_workspace, rules, Severity};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                other => return usage(&format!("--deny expects `warnings`, got {other:?}")),
+            },
+            "--deny=warnings" => deny_warnings = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root expects a path"),
+            },
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in rules::RULES {
+            println!(
+                "{:<22} {:<8} {}",
+                rule.id,
+                rule.severity.to_string(),
+                rule.summary
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // `cargo run -p moped-lint` runs from the workspace root; `--root`
+    // overrides for out-of-tree use.
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("moped-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let effective = |s: Severity| {
+        if deny_warnings {
+            Severity::Error
+        } else {
+            s
+        }
+    };
+    let errors = diags
+        .iter()
+        .filter(|d| effective(d.severity) == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+
+    if json {
+        let body: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("moped-lint: no findings");
+        } else {
+            println!("moped-lint: {errors} error(s), {warnings} warning(s)");
+        }
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("moped-lint: {msg}");
+    eprint!("{HELP}");
+    ExitCode::from(2)
+}
+
+const HELP: &str = "\
+moped-lint: static analysis for the MOPED workspace contracts
+
+USAGE:
+    moped-lint [OPTIONS]
+
+OPTIONS:
+    --deny warnings   escalate warnings to errors (the verify.sh gate)
+    --json            machine-readable findings on stdout
+    --list-rules      print the rule catalog and exit
+    --root <path>     workspace root (default: current directory)
+    -h, --help        this text
+
+Suppress a finding in place, reason mandatory:
+    // moped-lint: allow(<rule>) <why the contract does not apply here>
+";

@@ -1,0 +1,150 @@
+//! The `cargo-deps` rule: manifests may only name path-local or
+//! workspace-inherited dependencies.
+//!
+//! The build environment has no registry access — everything external
+//! is vendored under `vendor/` as an API-compatible subset. A version
+//! or git dependency slipped into any `Cargo.toml` would break every
+//! offline build, so the contract is machine-checked here with a small
+//! line-oriented TOML scan (full TOML parsing is not needed for the
+//! shapes `cargo` accepts in dependency tables).
+
+use crate::{Diagnostic, Severity};
+use std::path::Path;
+
+/// Whether a `[section]` header names a dependency table
+/// (`[dependencies]`, `[dev-dependencies]`, `[workspace.dependencies]`,
+/// `[target.'cfg(unix)'.build-dependencies]`, …).
+fn is_dep_table(section: &str) -> bool {
+    section
+        .rsplit('.')
+        .next()
+        .is_some_and(|last| last.ends_with("dependencies"))
+}
+
+/// Whether a dependency table header also names a single dependency
+/// (`[dependencies.foo]`): returns that name.
+fn single_dep_of(section: &str) -> Option<&str> {
+    let (table, name) = section.rsplit_once('.')?;
+    is_dep_table(table).then_some(name)
+}
+
+/// Checks one manifest; emits a finding for every dependency that is
+/// neither `path = …` nor `workspace = true`.
+pub fn check_manifest(path: &Path, src: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut emit = |line: u32, name: &str, how: &str| {
+        out.push(Diagnostic {
+            rule: "cargo-deps",
+            severity: Severity::Error,
+            path: path.to_path_buf(),
+            line,
+            message: format!(
+                "dependency `{name}` is {how} — offline builds require `path = …` (vendor it \
+                 under vendor/) or `workspace = true`"
+            ),
+        });
+    };
+    let mut section = String::new();
+    // State for a `[dependencies.foo]` sub-table: (header line, name,
+    // saw a path/workspace key).
+    let mut single: Option<(u32, String, bool)> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some((at, name, ok)) = single.take() {
+                if !ok {
+                    emit(at, &name, "missing a `path`/`workspace` key");
+                }
+            }
+            section = line
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .to_string();
+            if let Some(name) = single_dep_of(&section) {
+                single = Some((lineno, name.to_string(), false));
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = single.as_mut() {
+            if line.starts_with("path") || line.starts_with("workspace") {
+                *ok = true;
+            }
+            continue;
+        }
+        if !is_dep_table(&section) {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (name, value) = (name.trim(), value.trim());
+        if value.starts_with('"') || value.starts_with('\'') {
+            emit(lineno, name, "a registry version requirement");
+        } else if value.starts_with('{') {
+            let ok = value.contains("path") || value.contains("workspace");
+            if value.contains("git") {
+                emit(lineno, name, "a git dependency");
+            } else if !ok {
+                emit(lineno, name, "missing a `path`/`workspace` key");
+            }
+        }
+        // `name.workspace = true` dotted shorthand falls through: OK.
+    }
+    if let Some((at, name, ok)) = single {
+        if !ok {
+            emit(at, &name, "missing a `path`/`workspace` key");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        check_manifest(&PathBuf::from("Cargo.toml"), src)
+    }
+
+    #[test]
+    fn version_dep_is_flagged() {
+        let d = check("[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let d = check(
+            "[dependencies]\nrand = { path = \"../rand\" }\nmoped-core.workspace = true\n\
+             moped-env = { workspace = true }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn git_dep_is_flagged() {
+        let d = check("[dev-dependencies]\nfoo = { git = \"https://example.com/foo\" }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn subtable_without_path_is_flagged() {
+        let d = check("[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        let ok = check("[dependencies.rand]\npath = \"vendor/rand\"\n");
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_ignored() {
+        let d = check("[package]\nversion = \"0.1.0\"\nname = \"x\"\n");
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Inline suppression pragmas.
+//!
+//! Syntax, as a line comment on the offending line or the line above:
+//!
+//! ```text
+//! // moped-lint: allow(rule-id) reason the contract does not apply here
+//! // moped-lint: allow(rule-a, rule-b) one reason covering both
+//! ```
+//!
+//! A pragma without a reason is itself a finding: the whole point of
+//! the mechanism is that every exception is justified in place, so the
+//! reviewer reads the why next to the what.
+
+use crate::lexer::Comment;
+use crate::rules::rule_by_id;
+use crate::{Diagnostic, Severity};
+use std::path::Path;
+
+/// Marker every pragma comment starts with (after trimming).
+const MARKER: &str = "moped-lint:";
+
+/// One parsed suppression: `rule` findings on `lines` are dropped.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// The rule id being allowed.
+    pub rule: String,
+    /// Lines the suppression covers (the pragma's own line and the next).
+    pub lines: [u32; 2],
+}
+
+/// Parses every pragma in `comments`. Returns the suppressions plus
+/// diagnostics for malformed pragmas (missing reason, unknown rule,
+/// unparseable syntax).
+pub fn parse_pragmas(path: &Path, comments: &[Comment]) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    let mut bad = |line: u32, message: String| {
+        diags.push(Diagnostic {
+            rule: "invalid-pragma",
+            severity: Severity::Error,
+            path: path.to_path_buf(),
+            line,
+            message,
+        });
+    };
+    for c in comments {
+        if !c.is_line {
+            continue;
+        }
+        let body = c.text.trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow") else {
+            bad(
+                c.line,
+                format!(
+                    "unrecognized moped-lint pragma `{rest}` — expected `allow(<rule>) <reason>`"
+                ),
+            );
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(close) = args.find(')') else {
+            bad(
+                c.line,
+                "pragma is missing `)` after the rule list".to_string(),
+            );
+            continue;
+        };
+        let Some(list) = args[..close].strip_prefix('(') else {
+            bad(c.line, "pragma is missing `(` after `allow`".to_string());
+            continue;
+        };
+        let reason = args[close + 1..].trim();
+        if reason.is_empty() {
+            bad(
+                c.line,
+                "pragma has no reason — `allow(<rule>)` must be followed by a justification"
+                    .to_string(),
+            );
+            continue;
+        }
+        let mut any = false;
+        for rule in list.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+            if rule_by_id(rule).is_none() {
+                bad(c.line, format!("pragma names unknown rule `{rule}`"));
+                continue;
+            }
+            any = true;
+            sups.push(Suppression {
+                rule: rule.to_string(),
+                lines: [c.line, c.line + 1],
+            });
+        }
+        if !any && list.trim().is_empty() {
+            bad(c.line, "pragma allows no rules".to_string());
+        }
+    }
+    (sups, diags)
+}
+
+/// Drops findings covered by a suppression.
+pub fn apply(diags: Vec<Diagnostic>, sups: &[Suppression]) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            !sups
+                .iter()
+                .any(|s| s.rule == d.rule && s.lines.contains(&d.line))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> (Vec<Suppression>, Vec<Diagnostic>) {
+        parse_pragmas(&PathBuf::from("x.rs"), &lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let (sups, diags) = run("// moped-lint: allow(panic-path) fault injection is the point\n");
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rule, "panic-path");
+        assert_eq!(sups[0].lines, [1, 2]);
+    }
+
+    #[test]
+    fn missing_reason_is_a_finding() {
+        let (sups, diags) = run("// moped-lint: allow(panic-path)\n");
+        assert!(sups.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "invalid-pragma");
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let (sups, diags) = run("// moped-lint: allow(no-such-rule) because\n");
+        assert!(sups.is_empty());
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn multi_rule_pragma() {
+        let (sups, diags) = run("// moped-lint: allow(panic-path, wall-clock) shared reason\n");
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 2);
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        let (sups, diags) = run("// plain comment mentioning allow(panic-path)\n");
+        assert!(sups.is_empty() && diags.is_empty());
+    }
+}

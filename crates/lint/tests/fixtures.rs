@@ -1,0 +1,193 @@
+//! Fixture-file suite: every rule has one known-bad fixture (asserting
+//! the exact line of every diagnostic) and one known-good fixture
+//! (asserting silence). The fixtures live under `tests/fixtures/`, a
+//! directory `lint_workspace` deliberately skips — they are seeded
+//! violations, not workspace code.
+
+use moped_lint::{lint_rust_source, manifest};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading fixture {name}: {e}"));
+    (path, src)
+}
+
+/// Lints a fixture under an explicit crate identity and flattens the
+/// diagnostics to `(rule, line)` pairs for exact comparison.
+fn findings(name: &str, crate_key: &str) -> Vec<(&'static str, u32)> {
+    let (path, src) = fixture(name);
+    lint_rust_source(&path, crate_key, false, &src)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn wall_clock_bad() {
+    // Line 2 is the `use` naming SystemTime — importing the type is
+    // already evidence; lines 5/10/11 are the reads.
+    assert_eq!(
+        findings("bad_wall_clock.rs", "core"),
+        vec![
+            ("wall-clock", 2),
+            ("wall-clock", 5),
+            ("wall-clock", 10),
+            ("wall-clock", 11),
+        ]
+    );
+}
+
+#[test]
+fn wall_clock_good() {
+    assert_eq!(findings("good_wall_clock.rs", "core"), vec![]);
+}
+
+#[test]
+fn hash_collections_bad() {
+    assert_eq!(
+        findings("bad_hash_collections.rs", "simbr"),
+        vec![("hash-collections", 2), ("hash-collections", 4)]
+    );
+}
+
+#[test]
+fn hash_collections_good() {
+    assert_eq!(findings("good_hash_collections.rs", "simbr"), vec![]);
+}
+
+#[test]
+fn hash_collections_only_in_deterministic_crates() {
+    // The same bad fixture is clean when it belongs to the serving
+    // layer: crate scoping, not a global ban.
+    assert_eq!(findings("bad_hash_collections.rs", "service"), vec![]);
+}
+
+#[test]
+fn panic_path_bad() {
+    assert_eq!(
+        findings("bad_panic_path.rs", "service"),
+        vec![
+            ("panic-path", 4),
+            ("panic-path", 5),
+            ("panic-path", 7),
+            ("panic-path", 9),
+        ]
+    );
+}
+
+#[test]
+fn panic_path_good() {
+    assert_eq!(findings("good_panic_path.rs", "service"), vec![]);
+}
+
+#[test]
+fn float_eq_bad() {
+    // Line 8's `len == 4` is an integer compare and must NOT appear.
+    assert_eq!(
+        findings("bad_float_eq.rs", "geometry"),
+        vec![("float-eq", 4), ("float-eq", 5), ("float-eq", 6)]
+    );
+}
+
+#[test]
+fn float_eq_good() {
+    assert_eq!(findings("good_float_eq.rs", "geometry"), vec![]);
+}
+
+#[test]
+fn unbounded_channel_bad() {
+    assert_eq!(
+        findings("bad_unbounded_channel.rs", "service"),
+        vec![("unbounded-channel", 5)]
+    );
+}
+
+#[test]
+fn unbounded_channel_good() {
+    assert_eq!(findings("good_unbounded_channel.rs", "service"), vec![]);
+}
+
+#[test]
+fn nested_lock_bad() {
+    // The first `.lock()` (line 5) is legal; the overlapping second
+    // one (line 6) is the finding.
+    assert_eq!(
+        findings("bad_nested_lock.rs", "service"),
+        vec![("nested-lock", 6)]
+    );
+}
+
+#[test]
+fn nested_lock_good() {
+    assert_eq!(findings("good_nested_lock.rs", "service"), vec![]);
+}
+
+#[test]
+fn allow_without_reason_bad() {
+    // Line 9's doc comment (line 8) does not count as justification.
+    assert_eq!(
+        findings("bad_allow_reason.rs", "core"),
+        vec![("allow-without-reason", 5), ("allow-without-reason", 9)]
+    );
+}
+
+#[test]
+fn allow_without_reason_good() {
+    assert_eq!(findings("good_allow_reason.rs", "core"), vec![]);
+}
+
+#[test]
+fn invalid_pragmas_are_findings_and_do_not_suppress() {
+    // A reasonless pragma (line 4) and an unknown-rule pragma (line 10)
+    // are both diagnosed, and neither suppresses the `.unwrap()` on
+    // line 6.
+    assert_eq!(
+        findings("bad_pragma.rs", "service"),
+        vec![
+            ("invalid-pragma", 4),
+            ("panic-path", 6),
+            ("invalid-pragma", 10),
+        ]
+    );
+}
+
+#[test]
+fn cargo_deps_bad() {
+    let (path, src) = fixture("bad_cargo_deps.toml");
+    let got: Vec<(&str, u32)> = manifest::check_manifest(&path, &src)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+    // serde (registry version), rayon (inline table without path or
+    // workspace), [dependencies.tokio] (git sub-table, reported at its
+    // header), insta (registry version).
+    assert_eq!(
+        got,
+        vec![
+            ("cargo-deps", 8),
+            ("cargo-deps", 9),
+            ("cargo-deps", 12),
+            ("cargo-deps", 16),
+        ]
+    );
+}
+
+#[test]
+fn cargo_deps_good() {
+    let (path, src) = fixture("good_cargo_deps.toml");
+    let got = manifest::check_manifest(&path, &src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn test_files_are_exempt_from_crate_rules() {
+    // The same panic-path fixture is clean when the file itself is test
+    // code (tests/, benches/, examples/).
+    let (path, src) = fixture("bad_panic_path.rs");
+    let d = lint_rust_source(&path, "service", true, &src);
+    assert!(d.is_empty(), "{d:?}");
+}

@@ -1,0 +1,10 @@
+// Fixture: seeded `allow-without-reason` violations (any crate).
+// NOTE: keep the blank lines below — an adjacent comment would justify
+// the attributes and defeat the fixture.
+
+#[allow(dead_code)]
+fn orphaned() {}
+
+/// Doc comments describe the item, not the allow, so this is still bare.
+#[allow(unused_variables)]
+fn doc_is_not_reason(x: u32) {}

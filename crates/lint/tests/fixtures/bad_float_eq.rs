@@ -1,0 +1,10 @@
+// Fixture: seeded `float-eq` violations (linted as crate `geometry`).
+
+fn kernel(x: f64, closest: Vec3, len: usize) -> bool {
+    let exact_literal = x == 1.0; // line 4: flagged (float literal)
+    let exact_const = closest == Vec3::ZERO; // line 5: flagged (Vec3:: path)
+    let exact_method = x.sqrt() != closest.norm(); // line 6: flagged (float methods)
+    // Integer comparisons stay legal even next to float code:
+    let fine = len == 4;
+    exact_literal || exact_const || exact_method || fine
+}

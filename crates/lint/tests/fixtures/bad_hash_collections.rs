@@ -1,0 +1,6 @@
+// Fixture: seeded `hash-collections` violations (linted as crate `simbr`).
+use std::collections::HashMap;
+
+fn drain_in_hash_order(m: &HashMap<u64, f64>) -> Vec<f64> {
+    m.values().copied().collect() // order varies run to run
+}

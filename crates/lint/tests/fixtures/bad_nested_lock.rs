@@ -1,0 +1,8 @@
+// Fixture: seeded `nested-lock` violation (linted as crate `service`).
+use std::sync::Mutex;
+
+fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let mut ga = a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner()); // line 6: flagged
+    *ga += *gb;
+}

@@ -1,0 +1,10 @@
+// Fixture: seeded `panic-path` violations (linted as crate `service`).
+
+fn respond(result: Option<u32>) -> u32 {
+    let value = result.unwrap(); // line 4: flagged
+    let also = result.expect("present"); // line 5: flagged
+    if value != also {
+        panic!("impossible"); // line 7: flagged
+    }
+    todo!() // line 9: flagged
+}

@@ -1,0 +1,12 @@
+// Fixture: malformed suppression pragmas (`invalid-pragma` diagnostics).
+
+fn reasons_are_mandatory() -> u32 {
+    // moped-lint: allow(panic-path)
+    let x: Option<u32> = Some(1);
+    x.unwrap()
+}
+
+fn rules_must_exist() {
+    // moped-lint: allow(no-such-rule) this rule id is not in the catalog
+    let _ = 0;
+}

@@ -1,0 +1,6 @@
+// Fixture: seeded `unbounded-channel` violation (linted as crate `service`).
+use std::sync::mpsc;
+
+fn open_firehose() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel() // line 5: flagged — buffers without bound
+}

@@ -1,0 +1,21 @@
+// Fixture: seeded `wall-clock` violations (linted as crate `core`).
+use std::time::{Instant, SystemTime};
+
+fn elapsed_budget() -> bool {
+    let t0 = Instant::now(); // line 5: flagged
+    t0.elapsed().as_millis() > 10
+}
+
+fn entropy() -> u64 {
+    let clock = SystemTime::now(); // line 10: flagged
+    let rng = thread_rng(); // line 11: flagged
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_wall_clocks() {
+        let _ = std::time::Instant::now(); // inside cfg(test): not flagged
+    }
+}

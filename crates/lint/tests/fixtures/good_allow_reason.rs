@@ -1,0 +1,14 @@
+// Fixture: justified `#[allow]` attributes that satisfy `allow-without-reason`.
+
+// The indexed loop mirrors the published pseudocode table row by row.
+#[allow(clippy::needless_range_loop)]
+fn table_walk(xs: &[u32]) -> u32 {
+    let mut acc = 0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+    }
+    acc
+}
+
+#[allow(dead_code)] // kept as the reference scalar path for the SIMD kernel
+fn reference_path() {}

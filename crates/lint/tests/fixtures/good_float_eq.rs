@@ -1,0 +1,11 @@
+// Fixture: geometry code that respects `float-eq`.
+
+const EPS: f64 = 1e-10;
+
+fn kernel(x: f64, y: f64, closest: Vec3, r: usize, c: usize, simplex: &[Vec3]) -> bool {
+    let close_enough = (x - y).abs() <= EPS; // epsilon compare: fine
+    let near_zero = closest.norm_sq() < EPS; // ordered compare: fine
+    let expect = if r == c { 1.0 } else { 0.0 }; // int ==, float branches: fine
+    let four = simplex.len() == 4; // int ==: fine
+    close_enough || near_zero || expect > 0.5 || four
+}

@@ -1,0 +1,15 @@
+// Fixture: deterministic-crate code that respects `hash-collections`.
+use std::collections::BTreeMap;
+
+fn drain_in_key_order(m: &BTreeMap<u64, f64>) -> Vec<f64> {
+    m.values().copied().collect() // BTreeMap iterates in key order
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_hash() {
+        let names: std::collections::HashSet<&str> = ["a", "b"].into_iter().collect();
+        assert_eq!(names.len(), 2);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: serving-layer code that respects `nested-lock`.
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read_one(a: &Mutex<u64>) -> u64 {
+    *locked(a) // one lock per function body
+}
+
+fn read_other(b: &Mutex<u64>) -> u64 {
+    *locked(b)
+}

@@ -1,0 +1,24 @@
+// Fixture: serving-layer code that respects `panic-path`.
+
+enum Failure {
+    Missing,
+}
+
+fn respond(result: Option<u32>) -> Result<u32, Failure> {
+    // `unwrap_or_else` and the `?` operator are fine: no unwind path.
+    result.ok_or(Failure::Missing)
+}
+
+fn justified() -> u32 {
+    let chaos: Option<u32> = None;
+    // moped-lint: allow(panic-path) fixture pragma: deliberate fault injection
+    chaos.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

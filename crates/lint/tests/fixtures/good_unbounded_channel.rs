@@ -1,0 +1,6 @@
+// Fixture: serving-layer code that respects `unbounded-channel`.
+use std::sync::mpsc;
+
+fn open_bounded(capacity: usize) -> (mpsc::SyncSender<u64>, mpsc::Receiver<u64>) {
+    mpsc::sync_channel(capacity) // bounded: backpressure is explicit
+}

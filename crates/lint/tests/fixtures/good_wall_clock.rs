@@ -1,0 +1,13 @@
+// Fixture: deterministic-crate code that respects `wall-clock`.
+
+/// Deadlines arrive as caller-computed sample budgets, never as clock
+/// reads inside the kernel.
+fn within_budget(samples_done: usize, budget: usize) -> bool {
+    samples_done < budget
+}
+
+fn seeded_stream(seed: u64) -> u64 {
+    // The string below must not be mistaken for a clock read.
+    let _doc = "Instant::now() and SystemTime are banned here";
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -203,12 +203,14 @@ impl PlanRequest {
     }
 
     /// Sets the wall-clock deadline.
+    #[must_use = "builder method returns the updated request; it does not mutate in place"]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
     }
 
     /// Selects a specific ablation variant.
+    #[must_use = "builder method returns the updated request; it does not mutate in place"]
     pub fn with_variant(mut self, variant: Variant) -> Self {
         self.variant = variant;
         self
@@ -314,6 +316,7 @@ impl std::error::Error for PlanFailure {}
 // on the hot path.
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
+#[must_use = "a PlanOutcome carries either the response or a typed failure; dropping it hides failures"]
 pub enum PlanOutcome {
     /// The planner produced a result (completed, deadline-expired, or
     /// cancelled — see [`PlanResponse::outcome`]).
@@ -421,6 +424,7 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// A policy allowing `max_attempts` total attempts with no backoff.
+    #[must_use]
     pub fn attempts(max_attempts: u32) -> Self {
         RetryPolicy {
             max_attempts: max_attempts.max(1),
@@ -429,12 +433,14 @@ impl RetryPolicy {
     }
 
     /// Sets the fixed backoff between attempts.
+    #[must_use = "builder method returns the updated policy; it does not mutate in place"]
     pub fn with_backoff(mut self, backoff: Duration) -> Self {
         self.backoff = backoff;
         self
     }
 
     /// Sets the jitter bound added to the backoff.
+    #[must_use = "builder method returns the updated policy; it does not mutate in place"]
     pub fn with_jitter(mut self, jitter: Duration) -> Self {
         self.jitter = jitter;
         self
@@ -478,6 +484,7 @@ impl Default for ServiceConfig {
 /// the service shut down around it. Neither [`wait`](PlanTicket::wait)
 /// nor [`poll`](PlanTicket::poll) ever panics or hangs on a dead worker.
 #[derive(Debug)]
+#[must_use = "dropping a ticket discards the request's resolution; call wait() or poll()"]
 pub struct PlanTicket {
     id: u64,
     env: EnvId,
@@ -550,7 +557,7 @@ pub(crate) struct Job {
     pub(crate) deadline_at: Option<Instant>,
     pub(crate) cancel: Arc<AtomicBool>,
     pub(crate) enqueued: Instant,
-    pub(crate) respond: mpsc::Sender<PlanOutcome>,
+    pub(crate) respond: SyncSender<PlanOutcome>,
 }
 
 /// The concurrent batch planning engine. See the crate docs for the
@@ -645,13 +652,17 @@ impl PlanService {
                 }
                 Some(FaultKind::Panic) => {
                     self.metrics.inc_faults_injected();
+                    // moped-lint: allow(panic-path) chaos injection: an admission-site fault unwinds the caller by design
                     panic!("{}", FaultPlan::panic_message(FaultSite::Admission));
                 }
             }
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel();
+        // Bounded at 1 by construction: every ticket receives exactly one
+        // resolution (worker response, failure, or shutdown drain), so a
+        // one-slot buffer can never block the sender.
+        let (tx, rx) = mpsc::sync_channel(1);
         let now = Instant::now();
         let job = Job {
             id,

@@ -112,6 +112,7 @@ impl Pool {
             thread::Builder::new()
                 .name("moped-supervisor".into())
                 .spawn(move || monitor_loop(&slots, &shared))
+                // moped-lint: allow(panic-path) OS thread-spawn failure at startup is resource exhaustion with no caller to report to; no request is in flight yet
                 .expect("spawning the supervisor thread")
         };
         Pool {
@@ -175,11 +176,11 @@ fn monitor_loop(slots: &Mutex<Vec<Option<JoinHandle<()>>>>, shared: &Arc<WorkerS
         {
             let mut slots = lock_ignore_poison(slots);
             for (idx, slot) in slots.iter_mut().enumerate() {
-                if slot.as_ref().is_some_and(|h| h.is_finished()) {
+                if let Some(handle) = slot.take_if(|h| h.is_finished()) {
                     // Join result intentionally discarded: the worker is
                     // dead either way, and the panic payload (if any) was
                     // already surfaced through the job's ticket.
-                    let _ = slot.take().expect("slot checked above").join();
+                    let _ = handle.join();
                     shared.metrics.inc_worker_respawns();
                     *slot = Some(spawn_worker(idx, shared));
                 }
@@ -194,6 +195,7 @@ fn spawn_worker(worker_idx: usize, shared: &Arc<WorkerShared>) -> JoinHandle<()>
     thread::Builder::new()
         .name(format!("moped-worker-{worker_idx}"))
         .spawn(move || worker_loop(worker_idx, &shared))
+        // moped-lint: allow(panic-path) OS thread-spawn failure is resource exhaustion; returning an error here would leave the slot silently empty, which is worse than failing loudly
         .expect("spawning a worker thread")
 }
 
@@ -213,6 +215,7 @@ fn apply_worker_fault(shared: &WorkerShared, site: FaultSite) {
         Some(FaultKind::Panic) => {
             shared.metrics.inc_faults_injected();
             QUIET_PANICS.with(|q| q.set(true));
+            // moped-lint: allow(panic-path) chaos injection: the panic IS the configured fault; inert unless a FaultPlan is installed
             panic!("{}", FaultPlan::panic_message(site));
         }
     }
@@ -270,6 +273,7 @@ fn serve_job(
                     }
                     Some(FaultKind::Panic) => {
                         metrics.inc_faults_injected();
+                        // moped-lint: allow(panic-path) chaos injection: this panic exercises the per-attempt catch_unwind guard
                         panic!("{}", FaultPlan::panic_message(FaultSite::Planning));
                     }
                 }

@@ -39,7 +39,7 @@
 
 #![deny(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use moped_geometry::{Config, OpCount, Rect};
 
@@ -113,7 +113,9 @@ struct Node {
 pub struct SiMbrTree {
     nodes: Vec<Node>,
     root: Option<usize>,
-    entry_leaf: HashMap<u64, usize>,
+    // BTreeMap, not HashMap: this crate's results must be bit-reproducible
+    // and hash iteration order is not (lint rule `hash-collections`).
+    entry_leaf: BTreeMap<u64, usize>,
     dim: usize,
     max_entries: usize,
     len: usize,
@@ -139,7 +141,7 @@ impl SiMbrTree {
         SiMbrTree {
             nodes: Vec::new(),
             root: None,
-            entry_leaf: HashMap::new(),
+            entry_leaf: BTreeMap::new(),
             dim,
             max_entries,
             len: 0,
@@ -447,6 +449,8 @@ impl SiMbrTree {
         best.map(|id| (id, best_d2.sqrt()))
     }
 
+    // The recursion threads search state (best id/distance, op and trace
+    // ledgers) explicitly instead of bundling a context struct per call.
     #[allow(clippy::too_many_arguments)]
     fn nearest_rec_traced(
         &self,
@@ -510,6 +514,7 @@ impl SiMbrTree {
         Some(d)
     }
 
+    // Same explicit state threading as nearest_rec_traced, minus tracing.
     #[allow(clippy::too_many_arguments)]
     fn nearest_rec(
         &self,
@@ -717,6 +722,8 @@ fn points_rect(entries: &[Entry]) -> Rect {
 ///
 /// Seeds are the pair wasting the most dead area if grouped; remaining
 /// rects go to the group whose MBR grows least.
+// Index pairs (i, j) over the same slice are the algorithm's vocabulary;
+// the seed search needs both indices, not the elements alone.
 #[allow(clippy::needless_range_loop)]
 fn quadratic_split(rects: &[Rect], ops: &mut OpCount) -> (Vec<usize>, Vec<usize>) {
     let n = rects.len();

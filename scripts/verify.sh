@@ -17,6 +17,12 @@ cargo test -q
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== moped-lint --deny warnings =="
+cargo run -q -p moped-lint -- --deny warnings
+
+echo "== cargo test -q -p moped-lint =="
+cargo test -q -p moped-lint
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
