@@ -1,0 +1,143 @@
+//! Machine-readable service-layer benchmark: pushes fixed batches
+//! through the worker pool at several pool sizes and writes a flat JSON
+//! report (throughput plus latency percentiles per worker count).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p moped-bench --bin service_bench -- \
+//!     [--batch 32] [--samples 300] [--out BENCH_service.json]
+//! ```
+//!
+//! The same numbers print as a human-readable table on stdout; the JSON
+//! lands wherever `--out` points (default `BENCH_service.json` in the
+//! current directory) so CI and EXPERIMENTS.md can consume it.
+
+use std::time::Instant;
+
+use moped_core::PlannerParams;
+use moped_robot::Robot;
+use moped_service::{EnvironmentCatalog, PlanRequest, PlanService, ServiceConfig};
+
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+
+struct Row {
+    workers: usize,
+    served: usize,
+    elapsed_s: f64,
+    throughput: f64,
+    p50_us: u128,
+    p99_us: u128,
+    queue_wait_p99_us: u128,
+}
+
+fn run_batch(workers: usize, batch: usize, samples: usize) -> Row {
+    let catalog = EnvironmentCatalog::standard(&Robot::mobile_2d());
+    let env_ids: Vec<_> = catalog.ids().collect();
+    let service = PlanService::start(
+        catalog,
+        ServiceConfig {
+            workers,
+            queue_capacity: batch,
+            stop_poll_every: 64,
+            ..Default::default()
+        },
+    );
+    let requests = (0..batch).map(|i| {
+        let params = PlannerParams {
+            max_samples: samples,
+            seed: i as u64,
+            ..PlannerParams::default()
+        };
+        PlanRequest::new(env_ids[i % env_ids.len()], params)
+    });
+    let start = Instant::now();
+    let responses = service.run_batch(requests);
+    let elapsed = start.elapsed();
+    let metrics = service.metrics();
+    service.shutdown();
+
+    let served = responses
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|o| o.is_served()))
+        .count();
+    let elapsed_s = elapsed.as_secs_f64();
+    Row {
+        workers,
+        served,
+        elapsed_s,
+        throughput: served as f64 / elapsed_s.max(1e-9),
+        p50_us: metrics.service_latency.quantile(0.50).as_micros(),
+        p99_us: metrics.service_latency.quantile(0.99).as_micros(),
+        queue_wait_p99_us: metrics.queue_wait.quantile(0.99).as_micros(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut batch = 32usize;
+    let mut samples = 300usize;
+    let mut out = "BENCH_service.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--batch" => batch = it.next().and_then(|v| v.parse().ok()).unwrap_or(batch),
+            "--samples" => samples = it.next().and_then(|v| v.parse().ok()).unwrap_or(samples),
+            "--out" => out = it.next().cloned().unwrap_or(out),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+
+    println!("service bench — batch {batch}, {samples} samples/request");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>10} {:>10} {:>14}",
+        "workers", "served", "elapsed_s", "plans_per_s", "p50_us", "p99_us", "queue_p99_us"
+    );
+    let rows: Vec<Row> = WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            let row = run_batch(w, batch, samples);
+            println!(
+                "{:>8} {:>8} {:>10.3} {:>12.1} {:>10} {:>10} {:>14}",
+                row.workers,
+                row.served,
+                row.elapsed_s,
+                row.throughput,
+                row.p50_us,
+                row.p99_us,
+                row.queue_wait_p99_us
+            );
+            row
+        })
+        .collect();
+
+    // Flat, dependency-free JSON (mirrors the shape of Metrics::dump_json).
+    let body = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workers\":{},\"served\":{},\"elapsed_s\":{:.6},\"plans_per_s\":{:.3},\
+                 \"latency_p50_us\":{},\"latency_p99_us\":{},\"queue_wait_p99_us\":{}}}",
+                r.workers,
+                r.served,
+                r.elapsed_s,
+                r.throughput,
+                r.p50_us,
+                r.p99_us,
+                r.queue_wait_p99_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"bench\":\"service_batch\",\"batch\":{batch},\"samples_per_request\":{samples},\
+         \"rows\":[{body}]}}"
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -91,6 +91,7 @@ pub trait CollisionChecker {
         steps: &InterpolationSteps,
         ledger: &mut CollisionLedger,
     ) -> bool {
+        let _span = moped_obs::span(moped_obs::Stage::Collision);
         ledger.motion_queries += 1;
         // Poses are generated in place (same sequence as
         // [`moped_geometry::interpolate`]) so the hot loop never allocates.
@@ -138,8 +139,10 @@ impl NaiveChecker {
 
 impl CollisionChecker for NaiveChecker {
     fn config_free(&self, robot: &Robot, q: &Config, ledger: &mut CollisionLedger) -> bool {
+        let _span = moped_obs::span(moped_obs::Stage::Collision);
         let mut bodies = self.bodies.borrow_mut();
         robot.body_obbs_into(q, &mut bodies);
+        let _narrow = moped_obs::span(moped_obs::Stage::NarrowPhase);
         for body in bodies.iter() {
             for obs in &self.obstacles {
                 ledger.second_stage.mem_words += obs.encoded_words();
@@ -189,8 +192,10 @@ impl NaiveAabbChecker {
 
 impl CollisionChecker for NaiveAabbChecker {
     fn config_free(&self, robot: &Robot, q: &Config, ledger: &mut CollisionLedger) -> bool {
+        let _span = moped_obs::span(moped_obs::Stage::Collision);
         let mut bodies = self.bodies.borrow_mut();
         robot.body_obbs_into(q, &mut bodies);
+        let _broad = moped_obs::span(moped_obs::Stage::BroadPhase);
         for body in bodies.iter() {
             for aabb in &self.aabbs {
                 ledger.first_stage.mem_words += if body.is_planar() { 4 } else { 6 };
@@ -286,10 +291,12 @@ impl TwoStageChecker {
 
 impl CollisionChecker for TwoStageChecker {
     fn config_free(&self, robot: &Robot, q: &Config, ledger: &mut CollisionLedger) -> bool {
+        let _span = moped_obs::span(moped_obs::Stage::Collision);
         let scratch = &mut *self.scratch.borrow_mut();
         robot.body_obbs_into(q, &mut scratch.bodies);
         for body in &scratch.bodies {
-            // Stage 1: hierarchical AABB filter.
+            // Stage 1: hierarchical AABB filter (spanned as broad-phase
+            // inside `RTree::filter_into`).
             self.rtree.filter_into(
                 body,
                 &mut ledger.first_stage,
@@ -304,6 +311,7 @@ impl CollisionChecker for TwoStageChecker {
                 SecondStage::AabbOnly => return false,
                 SecondStage::ObbExact => {
                     // Stage 2: exact check on the few survivors only.
+                    let _narrow = moped_obs::span(moped_obs::Stage::NarrowPhase);
                     for &oid in &scratch.survivors {
                         let obs = &self.obstacles[oid];
                         ledger.second_stage.mem_words += obs.encoded_words();

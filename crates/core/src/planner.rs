@@ -3,6 +3,7 @@
 use moped_collision::{CollisionChecker, CollisionLedger};
 use moped_env::Scenario;
 use moped_geometry::{Config, InterpolationSteps, OpCount};
+use moped_obs::{Journal, RejectReason, Stage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -154,6 +155,16 @@ pub struct RrtStar<'a, N: NeighborIndex> {
     step: f64,
     rewire_enabled: bool,
     stop_hook: Option<StopHook<'a>>,
+    journal_enabled: bool,
+    journal: Option<Journal>,
+    replay: Option<Replay>,
+}
+
+/// Pre-decoded sample stream consumed instead of the RNG when replaying
+/// a journal (goal-bias draws are already baked into the stream).
+struct Replay {
+    samples: Vec<Config>,
+    cursor: usize,
 }
 
 /// A cooperative-stop predicate polled every `.0` sampling rounds; when
@@ -185,6 +196,9 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
             step,
             rewire_enabled: true,
             stop_hook: None,
+            journal_enabled: false,
+            journal: None,
+            replay: None,
         }
     }
 
@@ -209,6 +223,41 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
         self
     }
 
+    /// Records a deterministic event journal during the next [`plan`]
+    /// call: every sample draw (goal-bias draws included), accept,
+    /// reject, rewire, and goal improvement, plus the sampler seed.
+    /// Retrieve it afterwards with [`take_journal`]; feeding it to
+    /// [`with_replay`] on a fresh planner over the same scenario
+    /// reproduces the run bit-identically.
+    ///
+    /// [`plan`]: RrtStar::plan
+    /// [`take_journal`]: RrtStar::take_journal
+    /// [`with_replay`]: RrtStar::with_replay
+    pub fn with_journal_recording(mut self) -> Self {
+        self.journal_enabled = true;
+        self
+    }
+
+    /// The journal recorded by the last [`RrtStar::plan`] call, if
+    /// journaling was enabled.
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// Replays a recorded journal: the planner consumes the journal's
+    /// sample stream instead of its RNG, and its budget becomes the
+    /// journal's round count. Everything downstream of sampling is
+    /// deterministic, so the run — tree shape, node count, path cost —
+    /// reproduces the recorded one bit for bit.
+    pub fn with_replay(mut self, journal: &Journal) -> Self {
+        let samples = journal
+            .sample_rows()
+            .map(Config::new)
+            .collect::<Vec<Config>>();
+        self.replay = Some(Replay { samples, cursor: 0 });
+        self
+    }
+
     /// The neighbor index (consumed state inspection after planning).
     pub fn index(&self) -> &N {
         &self.index
@@ -220,6 +269,15 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut stats = PlanStats::default();
         let dim = self.scenario.robot.dof();
+        self.journal = self
+            .journal_enabled
+            .then(|| Journal::new(self.params.seed, dim));
+        // A replaying planner's budget is the journal's round count: one
+        // recorded sample per round, consumed in order.
+        let budget = self
+            .replay
+            .as_ref()
+            .map_or(self.params.max_samples, |r| r.samples.len());
 
         // Root the tree at the start configuration.
         self.nodes.clear();
@@ -234,7 +292,7 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
 
         let mut best_goal: Option<(usize, f64)> = None; // (node, node→goal dist)
 
-        for round in 0..self.params.max_samples {
+        for round in 0..budget {
             // Cooperative cancellation/deadline: polled every N rounds so
             // a serving layer can reclaim the worker; the tree stays
             // consistent and the best-so-far result is still extracted.
@@ -246,28 +304,48 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
             }
             stats.samples += 1;
             let mut trace = RoundTrace::default();
+            let _round_span = moped_obs::span(Stage::Round);
 
             // --- Sampling ---------------------------------------------
-            let x_rand = if rng.gen::<f64>() < self.params.goal_bias {
-                self.scenario.goal
-            } else {
-                self.scenario.sample_any(&mut rng)
+            let x_rand = {
+                let _s = moped_obs::span(Stage::Sample);
+                let q = match &mut self.replay {
+                    Some(r) => {
+                        let q = r.samples[r.cursor];
+                        r.cursor += 1;
+                        q
+                    }
+                    None if rng.gen::<f64>() < self.params.goal_bias => self.scenario.goal,
+                    None => self.scenario.sample_any(&mut rng),
+                };
+                if let Some(j) = &mut self.journal {
+                    j.record_sample(q.as_slice());
+                }
+                q
             };
 
             // --- Neighbor search 1: nearest ---------------------------
             let ns_mark = stats.ns_ops;
-            let (nearest_id, _) = self
-                .index
-                .nearest(&x_rand, &mut stats.ns_ops)
-                .expect("index holds at least the root");
+            let (nearest_id, _) = {
+                let _s = moped_obs::span(Stage::Nearest);
+                self.index
+                    .nearest(&x_rand, &mut stats.ns_ops)
+                    .expect("index holds at least the root")
+            };
             let nearest_idx = nearest_id as usize;
 
             // --- Steering ---------------------------------------------
-            let x_new = self.nodes[nearest_idx].q.steer_toward(&x_rand, self.step);
+            let x_new = {
+                let _s = moped_obs::span(Stage::Steer);
+                self.nodes[nearest_idx].q.steer_toward(&x_rand, self.step)
+            };
             stats.other_ops.mul += dim as u64;
             stats.other_ops.add += dim as u64;
             if x_new == self.nodes[nearest_idx].q {
                 // Degenerate draw (sampled an existing node).
+                if let Some(j) = &mut self.journal {
+                    j.record_reject(RejectReason::Degenerate);
+                }
                 if self.params.trace_rounds {
                     trace.ns_macs = (stats.ns_ops - ns_mark).mac_equiv();
                     stats.rounds.push(trace);
@@ -287,6 +365,9 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
             trace.cc_macs = self.ledger_macs(&stats) - cc_mark;
 
             if !edge_free {
+                if let Some(j) = &mut self.journal {
+                    j.record_reject(RejectReason::Collision);
+                }
                 if self.params.trace_rounds {
                     trace.ns_macs = (stats.ns_ops - ns_mark).mac_equiv();
                     stats.rounds.push(trace);
@@ -295,10 +376,12 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
             }
 
             // --- Neighbor search 2: neighborhood of x_new -------------
-            let radius = self.rewire_radius();
-            let near = self
-                .index
-                .neighborhood(nearest_id, &x_new, radius, &mut stats.ns_ops);
+            let near = {
+                let _s = moped_obs::span(Stage::Neighborhood);
+                let radius = self.rewire_radius();
+                self.index
+                    .neighborhood(nearest_id, &x_new, radius, &mut stats.ns_ops)
+            };
             trace.near_count = near.len() as u32;
             trace.ns_macs = (stats.ns_ops - ns_mark).mac_equiv();
 
@@ -308,6 +391,7 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
             // nearest node's already-verified edge usually terminates the
             // scan immediately, exactly the paper's low-check refinement).
             let refine_mark = self.ledger_macs(&stats) + stats.other_ops.mac_equiv();
+            let refine_span = moped_obs::span(Stage::Rewire);
             let nearest_through = self.nodes[nearest_idx].cost
                 + self.nodes[nearest_idx]
                     .q
@@ -345,9 +429,11 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
                     break;
                 }
             }
+            drop(refine_span);
 
             // --- Insert the new node -----------------------------------
             let new_idx = self.nodes.len();
+            let insert_span = moped_obs::span(Stage::Insert);
             self.nodes.push(TreeNode {
                 q: x_new,
                 parent: Some(parent),
@@ -362,12 +448,17 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
                 Some(nearest_id),
                 &mut stats.insert_ops,
             );
+            if let Some(j) = &mut self.journal {
+                j.record_accept(new_idx as u64, parent as u64, best_cost);
+            }
+            drop(insert_span);
             trace.insert_macs = (stats.insert_ops - ins_mark).mac_equiv();
             trace.accepted = true;
             stats.nodes = self.nodes.len();
 
             // --- Rewire ------------------------------------------------
             if self.rewire_enabled {
+                let _s = moped_obs::span(Stage::Rewire);
                 for (cand_id, cand_q) in &near {
                     let ci = *cand_id as usize;
                     if ci == parent || ci == new_idx {
@@ -386,6 +477,9 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
                     {
                         self.reparent(ci, new_idx, through);
                         stats.rewires += 1;
+                        if let Some(j) = &mut self.journal {
+                            j.record_rewire(ci as u64, new_idx as u64, through);
+                        }
                     }
                 }
             }
@@ -408,6 +502,9 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
                 if best_goal.is_none_or(|(bi, bd)| total < self.nodes[bi].cost + bd) {
                     best_goal = Some((new_idx, gd));
                     stats.solution_history.push((stats.samples, total));
+                    if let Some(j) = &mut self.journal {
+                        j.record_goal(new_idx as u64, total);
+                    }
                 }
             }
 
@@ -674,6 +771,53 @@ mod tests {
         let b = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(300, 17)).plan();
         assert_eq!(a.path_cost.to_bits(), b.path_cost.to_bits());
         assert_eq!(a.stats.total_ops(), b.stats.total_ops());
+    }
+
+    #[test]
+    fn journal_replay_reproduces_run_bit_identically() {
+        let s = moped_env::Scenario::generate(
+            Robot::mobile_2d(),
+            &ScenarioParams::with_obstacles(16),
+            9,
+        );
+        let checker = TwoStageChecker::moped(s.obstacles.clone());
+        let mut recorder = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(400, 23))
+            .with_journal_recording();
+        let original = recorder.plan();
+        let journal = recorder.take_journal().expect("journaling was enabled");
+        assert_eq!(journal.rounds(), original.stats.samples);
+        assert_eq!(journal.seed(), 23);
+
+        // Replay through the serialized wire format, not the in-memory
+        // journal, so the f64 hex round trip is part of what's verified.
+        let journal = Journal::parse(&journal.serialize()).expect("wire round trip");
+        let mut replayer = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(400, 23))
+            .with_replay(&journal);
+        let replayed = replayer.plan();
+        assert_eq!(original.path_cost.to_bits(), replayed.path_cost.to_bits());
+        assert_eq!(original.stats.nodes, replayed.stats.nodes);
+        assert_eq!(original.stats.samples, replayed.stats.samples);
+        assert_eq!(original.stats.rewires, replayed.stats.rewires);
+        assert_eq!(original.stats.total_ops(), replayed.stats.total_ops());
+        assert!(replayer.check_tree_invariants().is_none());
+    }
+
+    #[test]
+    fn journal_records_every_round_outcome() {
+        let s = moped_env::Scenario::generate(
+            Robot::mobile_2d(),
+            &ScenarioParams::with_obstacles(8),
+            2,
+        );
+        let checker = TwoStageChecker::moped(s.obstacles.clone());
+        let mut planner = RrtStar::new(&s, &checker, SimbrIndex::moped(3), quick_params(300, 7))
+            .with_journal_recording();
+        let result = planner.plan();
+        let journal = planner.take_journal().expect("journaling was enabled");
+        // Accepted rounds match tree growth (root is not journaled).
+        assert_eq!(journal.accepts(), result.stats.nodes - 1);
+        // Every round drew exactly one sample.
+        assert_eq!(journal.rounds(), result.stats.samples);
     }
 
     #[test]

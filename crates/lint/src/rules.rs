@@ -7,6 +7,8 @@
 //! an inline `// moped-lint: allow(<rule>) <reason>` pragma rather than
 //! by loosening the rule.
 
+use std::path::Path;
+
 use crate::lexer::{Token, TokenKind};
 use crate::{Diagnostic, FileCtx, Severity};
 
@@ -82,6 +84,12 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warning,
         summary: "#[allow(...)] requires an adjacent justification comment",
         check: allow_without_reason,
+    },
+    Rule {
+        id: "print-in-lib",
+        severity: Severity::Error,
+        summary: "no println!/eprintln!/dbg! in library code (binaries, tests, examples exempt)",
+        check: print_in_lib,
     },
     Rule {
         id: "cargo-deps",
@@ -454,6 +462,48 @@ fn nested_lock(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
             );
         }
     }
+}
+
+/// rule `print-in-lib` — library crates speak through return values and
+/// the metrics/obs layers, never stdout/stderr: a stray `println!` in a
+/// kernel interleaves with the machine-readable output of whatever
+/// binary embeds it, and `dbg!` is debug noise that ships. Binary
+/// targets (`src/bin/`, `main.rs`) own their streams and are exempt, as
+/// are tests, benches, and examples.
+fn print_in_lib(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.is_test_file || is_binary_target(ctx.path) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        let is_macro =
+            |name: &str| t.is_ident(name) && toks.get(i + 1).is_some_and(|t| t.is_punct("!"));
+        for mac in ["println", "eprintln", "print", "eprint", "dbg"] {
+            if is_macro(mac) {
+                emit(
+                    ctx,
+                    out,
+                    "print-in-lib",
+                    t.line,
+                    format!(
+                        "`{mac}!` in library crate `{}` — libraries report through return \
+                         values and the obs/metrics layers; only binary targets may print",
+                        ctx.crate_key
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Whether `path` is a binary target: any file under a `bin/` directory
+/// or a crate-root `main.rs`.
+fn is_binary_target(path: &Path) -> bool {
+    path.components().any(|c| c.as_os_str() == "bin")
+        || path.file_name().is_some_and(|f| f == "main.rs")
 }
 
 /// rule `allow-without-reason` — every `#[allow(...)]` is a contract

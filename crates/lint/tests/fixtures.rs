@@ -141,6 +141,36 @@ fn allow_without_reason_good() {
 }
 
 #[test]
+fn print_in_lib_bad() {
+    assert_eq!(
+        findings("bad_print_in_lib.rs", "core"),
+        vec![
+            ("print-in-lib", 4),
+            ("print-in-lib", 5),
+            ("print-in-lib", 6),
+            ("print-in-lib", 7),
+            ("print-in-lib", 8),
+        ]
+    );
+}
+
+#[test]
+fn print_in_lib_good() {
+    assert_eq!(findings("good_print_in_lib.rs", "core"), vec![]);
+}
+
+#[test]
+fn print_in_lib_exempts_binary_targets() {
+    // The same bad fixture is clean under `src/bin/` or as a crate-root
+    // `main.rs` — binaries own their stdout/stderr.
+    let (_, src) = fixture("bad_print_in_lib.rs");
+    for bin_path in ["crates/bench/src/bin/tool.rs", "crates/lint/src/main.rs"] {
+        let d = lint_rust_source(Path::new(bin_path), "bench", false, &src);
+        assert!(d.is_empty(), "{bin_path}: {d:?}");
+    }
+}
+
+#[test]
 fn invalid_pragmas_are_findings_and_do_not_suppress() {
     // A reasonless pragma (line 4) and an unknown-rule pragma (line 10)
     // are both diagnosed, and neither suppresses the `.unwrap()` on

@@ -1,0 +1,9 @@
+//! Seeded violations for `print-in-lib`.
+
+pub fn report(x: f64) {
+    println!("x = {x}");
+    eprintln!("warning: {x}");
+    print!("partial ");
+    eprint!("partial ");
+    let _ = dbg!(x);
+}

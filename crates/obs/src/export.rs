@@ -1,0 +1,284 @@
+//! Exporters: Chrome-trace/Perfetto JSON for span events, plus a small
+//! recursive-descent JSON well-formedness checker used by tests (the
+//! workspace deliberately carries no serialization dependency).
+
+use crate::recorder::SpanEvent;
+use crate::TickSource;
+use std::fmt::Write as _;
+
+/// Renders span events as a Chrome trace (`chrome://tracing` /
+/// Perfetto "JSON Array Format" wrapped in an object). Every span
+/// becomes one complete event (`"ph":"X"`); `ts`/`dur` are microseconds
+/// under [`TickSource::WallClock`] (ticks are nanoseconds there) and raw
+/// tick values under [`TickSource::Logical`], where only ordering is
+/// meaningful.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let wall = crate::tick_source() == TickSource::WallClock;
+    let scale = |t: u64| -> f64 {
+        if wall {
+            t as f64 / 1000.0
+        } else {
+            t as f64
+        }
+    };
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts = scale(e.start);
+        let dur = scale(e.end.saturating_sub(e.start));
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"moped\",\"ph\":\"X\",\"ts\":{ts:.3},\
+             \"dur\":{dur:.3},\"pid\":1,\"tid\":{}}}",
+            e.stage.name(),
+            e.thread
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Checks that `text` is one well-formed JSON value with nothing
+/// trailing. This is a validator, not a parser: it builds no tree and
+/// allocates nothing. Numbers follow the JSON grammar; strings accept
+/// any escape after `\` except that `\u` requires four hex digits.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(()),
+            b'\\' => match b.get(*pos) {
+                Some(b'u') => {
+                    *pos += 1;
+                    for _ in 0..4 {
+                        match b.get(*pos) {
+                            Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                            _ => {
+                                return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                            }
+                        }
+                    }
+                }
+                Some(_) => *pos += 1,
+                None => return Err("unterminated escape".to_string()),
+            },
+            _ => {}
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| -> usize {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos - s
+    };
+    if digits(b, pos) == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if digits(b, pos) == 0 {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        if digits(b, pos) == 0 {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {pos}",
+            c as char,
+            pos = *pos
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stage;
+
+    fn ev(stage: Stage, start: u64, end: u64, thread: u32) -> SpanEvent {
+        SpanEvent {
+            stage,
+            start,
+            end,
+            thread,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_json() {
+        let events = vec![
+            ev(Stage::Round, 0, 100, 0),
+            ev(Stage::Sample, 5, 10, 0),
+            ev(Stage::Nearest, 12, 40, 1),
+        ];
+        let trace = chrome_trace(&events);
+        validate_json(&trace).expect("trace must be valid JSON");
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"name\":\"sample\""));
+        assert!(trace.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_empty_is_valid() {
+        let trace = chrome_trace(&[]);
+        validate_json(&trace).expect("empty trace must be valid JSON");
+        assert!(trace.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e+3",
+            "\"hi \\n \\u00e9\"",
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            "{\"a\":1,\"b\":{\"c\":[null,false]}}",
+        ] {
+            validate_json(doc).unwrap_or_else(|e| panic!("{doc:?} should parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "nul",
+            "{\"a\":1,}",
+            "\"bad \\u12g4\"",
+            "-",
+            "1.",
+            "1e",
+        ] {
+            assert!(validate_json(doc).is_err(), "{doc:?} should be rejected");
+        }
+    }
+}

@@ -236,6 +236,7 @@ impl RTree {
         stack: &mut Vec<usize>,
         out: &mut Vec<usize>,
     ) {
+        let _span = moped_obs::span(moped_obs::Stage::BroadPhase);
         out.clear();
         stack.clear();
         let Some(root) = self.root else { return };

@@ -626,6 +626,7 @@ impl PlanService {
     /// immediate when the queue is full, the environment is unknown, or
     /// the service is shutting down.
     pub fn submit(&self, request: PlanRequest) -> Result<PlanTicket, RejectReason> {
+        let _span = moped_obs::span(moped_obs::Stage::Admission);
         let Some(queue) = self.queue.as_ref() else {
             self.metrics.inc_rejected();
             return Err(RejectReason::ShuttingDown);

@@ -238,6 +238,10 @@ fn worker_loop(worker_idx: usize, shared: &Arc<WorkerShared>) {
             break; // queue closed and drained: graceful exit
         };
         serve_job(worker_idx, job, shared, &mut checkers);
+        // Publish this worker's span data to the global registry while
+        // the thread is idle, so profile snapshots taken from the API
+        // thread see completed jobs without joining the pool.
+        moped_obs::flush();
     }
 }
 
@@ -256,6 +260,12 @@ fn serve_job(
     let started = Instant::now();
     let queue_wait = started.duration_since(job.enqueued);
     metrics.queue_wait.record(queue_wait);
+    // Queue wait spans two threads, so it is recorded as a synthesized
+    // duration rather than an enter/exit pair on either thread.
+    moped_obs::record_duration(
+        moped_obs::Stage::QueueWait,
+        moped_obs::duration_ticks(queue_wait),
+    );
 
     apply_worker_fault(shared, FaultSite::Dequeue);
 
@@ -263,6 +273,7 @@ fn serve_job(
     let mut last_panic: Option<String> = None;
     let result = loop {
         attempt += 1;
+        let attempt_span = moped_obs::span(moped_obs::Stage::Attempt);
         let attempt_result = catch_quietly(|| {
             if let Some(plan) = shared.faults.as_deref() {
                 match plan.fire(FaultSite::Planning) {
@@ -280,6 +291,7 @@ fn serve_job(
             }
             execute(&job, checkers, shared.poll_every, started)
         });
+        drop(attempt_span);
         match attempt_result {
             Ok(result) => break result,
             Err(payload) => {
@@ -301,6 +313,7 @@ fn serve_job(
                     last_panic = Some(message);
                     let pause = retry_pause(&shared.retry, job.id, attempt);
                     if !pause.is_zero() {
+                        let _retry = moped_obs::span(moped_obs::Stage::Retry);
                         thread::sleep(pause);
                     }
                     continue;

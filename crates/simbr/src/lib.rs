@@ -426,6 +426,7 @@ impl SiMbrTree {
     ) -> Option<(u64, f64)> {
         assert_eq!(query.dim(), self.dim, "dimension mismatch");
         let root = self.root?;
+        let _span = moped_obs::span(moped_obs::Stage::MbrDescent);
         let mut best: Option<u64> = None;
         let mut best_d2 = f64::INFINITY;
         self.nearest_rec(root, 0, query, &mut best, &mut best_d2, ops, stats);

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Service-layer benchmark: batches through the worker pool at 1/4/8
+# workers, machine-readable output in BENCH_service.json (throughput and
+# latency percentiles per worker count). Record headline numbers in
+# EXPERIMENTS.md when they move.
+#
+# Usage: scripts/bench.sh [--batch N] [--samples N]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p moped-bench --bin service_bench -- \
+    --out BENCH_service.json "$@"
+
+echo "bench: OK (BENCH_service.json)"

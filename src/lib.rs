@@ -22,6 +22,8 @@
 //! * [`hw`] — the 28nm hardware performance model and baselines
 //! * [`service`] — the concurrent batch planning engine (worker pool,
 //!   bounded admission queue, deadlines, cancellation, metrics)
+//! * [`obs`] — observability: stage spans, the profiler, the
+//!   deterministic event journal, and the trace exporters
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@ pub use moped_eval as eval;
 pub use moped_geometry as geometry;
 pub use moped_hw as hw;
 pub use moped_kdtree as kdtree;
+pub use moped_obs as obs;
 pub use moped_octree as octree;
 pub use moped_robot as robot;
 pub use moped_rtree as rtree;
