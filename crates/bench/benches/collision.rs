@@ -3,7 +3,9 @@
 //! scheme, across obstacle densities and robot models.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use moped_collision::{CollisionChecker, CollisionLedger, NaiveChecker, TwoStageChecker};
+use moped_collision::{
+    CollisionChecker, CollisionLedger, NaiveChecker, NarrowMode, TwoStageChecker,
+};
 use moped_env::{Scenario, ScenarioParams};
 use moped_geometry::InterpolationSteps;
 use moped_robot::Robot;
@@ -59,6 +61,50 @@ fn bench_motion_checks(c: &mut Criterion) {
     g.finish();
 }
 
+/// Old-vs-new narrow phase on identical survivor sets: the pre-rewrite
+/// per-survivor early-exit SAT (`NarrowMode::Reference`) vs the batched
+/// SoA kernel with the last-hit cache (`NarrowMode::Batched`, default).
+/// Both produce identical verdicts.
+fn bench_narrow_old_vs_new(c: &mut Criterion) {
+    let mut g = c.benchmark_group("narrow_phase_drone");
+    for &count in &[16usize, 48] {
+        let s = Scenario::generate(
+            Robot::drone_3d(),
+            &ScenarioParams::with_obstacles(count),
+            21,
+        );
+        let reference =
+            TwoStageChecker::moped(s.obstacles.clone()).with_narrow_mode(NarrowMode::Reference);
+        let batched = TwoStageChecker::moped(s.obstacles.clone());
+        let steps = InterpolationSteps::default();
+        g.bench_with_input(BenchmarkId::new("reference", count), &s.goal, |b, goal| {
+            b.iter(|| {
+                let mut ledger = CollisionLedger::default();
+                black_box(reference.motion_free(
+                    &s.robot,
+                    &s.start,
+                    black_box(goal),
+                    &steps,
+                    &mut ledger,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batched", count), &s.goal, |b, goal| {
+            b.iter(|| {
+                let mut ledger = CollisionLedger::default();
+                black_box(batched.motion_free(
+                    &s.robot,
+                    &s.start,
+                    black_box(goal),
+                    &steps,
+                    &mut ledger,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_rtree_build(c: &mut Criterion) {
     // Offline construction cost (excluded from runtime in the paper, but
     // worth tracking).
@@ -96,6 +142,7 @@ criterion_group!(
     benches,
     bench_config_checks,
     bench_motion_checks,
+    bench_narrow_old_vs_new,
     bench_rtree_build,
     bench_octree
 );

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moped_geometry::{Config, OpCount};
 use moped_kdtree::KdTree;
-use moped_simbr::SiMbrTree;
+use moped_simbr::{SearchStats, SiMbrTree};
 use std::hint::black_box;
 
 /// Deterministic RRT*-like point stream: each point steps a short
@@ -115,6 +115,61 @@ fn bench_nearest(c: &mut Criterion) {
     g.finish();
 }
 
+/// Old-vs-new engine comparison on the same tree: the pre-rewrite
+/// traversal (depth-first MINDIST descent, `nearest_reference_dfs`) vs
+/// the best-first engine, cold and with a warm search-trace seed. All
+/// three return the exact nearest neighbor.
+fn bench_engine_old_vs_new(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nearest_engine");
+    for &(n, dim) in &[(5000usize, 3usize), (5000, 6)] {
+        let pts = tree_points(n, dim);
+        let mut ops = OpCount::default();
+        let mut tree = SiMbrTree::new(dim, 6);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert_conventional(i as u64, *p, &mut ops);
+        }
+        let q = Config::new(&vec![13.7; dim]);
+        let mut stats = SearchStats::default();
+        let (winner, _) = tree.nearest(&q, &mut ops).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("reference_dfs", format!("{n}x{dim}d")),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let mut ops = OpCount::default();
+                    black_box(tree.nearest_reference_dfs(black_box(q), &mut ops, &mut stats))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("best_first", format!("{n}x{dim}d")),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let mut ops = OpCount::default();
+                    black_box(tree.nearest_with_stats(black_box(q), &mut ops, &mut stats))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("best_first_warm", format!("{n}x{dim}d")),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let mut ops = OpCount::default();
+                    black_box(tree.nearest_with_hint(
+                        black_box(q),
+                        Some(winner),
+                        &mut ops,
+                        &mut stats,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_sias(c: &mut Criterion) {
     let pts = tree_points(3000, 5);
     let mut ops = OpCount::default();
@@ -139,5 +194,11 @@ fn bench_sias(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_insert, bench_nearest, bench_sias);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_nearest,
+    bench_engine_old_vs_new,
+    bench_sias
+);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p moped-bench --bin service_bench -- \
-//!     [--batch 32] [--samples 300] [--out BENCH_service.json]
+//!     [--batch 64] [--samples 1200] [--out BENCH_service.json]
 //! ```
 //!
 //! The same numbers print as a human-readable table on stdout; the JSON
@@ -75,8 +75,10 @@ fn run_batch(workers: usize, batch: usize, samples: usize) -> Row {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut batch = 32usize;
-    let mut samples = 300usize;
+    // Heavy enough that per-request work dominates queue hand-off: short
+    // plans at small batches underestimate pool scaling.
+    let mut batch = 64usize;
+    let mut samples = 1200usize;
     let mut out = "BENCH_service.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {

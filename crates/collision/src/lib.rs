@@ -110,6 +110,12 @@ pub trait CollisionChecker {
         true
     }
 
+    /// Clears transient acceleration state (e.g. last-hit caches) so a
+    /// fresh plan's *operation counts* do not depend on earlier queries
+    /// against the same shared checker. Verdicts never depend on this
+    /// state; planners call it once at the start of each plan.
+    fn begin_plan(&self) {}
+
     /// Short descriptive name for reports.
     fn name(&self) -> &'static str;
 }
@@ -222,13 +228,43 @@ pub enum SecondStage {
     AabbOnly,
 }
 
+/// Narrow-phase kernel selection for [`TwoStageChecker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NarrowMode {
+    /// The pre-rewrite path: one early-exit 15-axis SAT per survivor,
+    /// obstacle data gathered from the AoS obstacle list. Kept as the
+    /// old-vs-new baseline for the benches.
+    Reference,
+    /// Batched SAT over the precomputed SoA obstacle field: survivors are
+    /// processed in [`sat::SAT_BATCH`]-wide chunks of branch-free
+    /// full-axis lanes, with the body's axes prepared once per pose.
+    /// Returns the same verdicts (any-hit semantics) as `Reference`.
+    Batched,
+}
+
 /// MOPED's two-stage checker (§III-A): R-tree AABB filter, then exact
 /// OBB–OBB on survivors.
+///
+/// The obstacle field is held as a precomputed structure-of-arrays
+/// ([`sat::ObbSoa`]): centers, half-extents, and rotation axes are
+/// extracted once at construction, so the narrow phase streams plain
+/// `f64` lanes instead of re-deriving axes per test. In
+/// [`NarrowMode::Batched`] + [`SecondStage::ObbExact`] a *last-hit cache*
+/// remembers the obstacle that most recently caused a collision and tests
+/// it first on the next pose — colliding poses cluster on the same
+/// obstacle, so a hit skips the broad phase entirely. The cache is
+/// verdict-preserving: it only short-circuits on an exact SAT hit, which
+/// the full pipeline would have found too (an OBB overlap implies the
+/// obstacle survives its own AABB filter).
 #[derive(Clone, Debug)]
 pub struct TwoStageChecker {
     rtree: RTree,
-    obstacles: Vec<Obb>,
+    soa: sat::ObbSoa,
     second: SecondStage,
+    narrow: NarrowMode,
+    last_hit: std::cell::Cell<Option<usize>>,
+    cache_hits: std::cell::Cell<u64>,
+    cache_misses: std::cell::Cell<u64>,
     scratch: std::cell::RefCell<TwoStageScratch>,
 }
 
@@ -244,12 +280,7 @@ impl TwoStageChecker {
     /// the given fanout (paper-style small node, default choice is 4).
     pub fn new(obstacles: Vec<Obb>, fanout: usize, second: SecondStage) -> Self {
         let rtree = RTree::build(&obstacles, fanout);
-        TwoStageChecker {
-            rtree,
-            obstacles,
-            second,
-            scratch: std::cell::RefCell::new(TwoStageScratch::default()),
-        }
+        TwoStageChecker::with_prebuilt(rtree, obstacles, second)
     }
 
     /// Convenience constructor with the default fanout and exact second
@@ -263,13 +294,32 @@ impl TwoStageChecker {
     /// per environment snapshot and hands each worker a cheap structural
     /// clone instead of re-sorting the obstacle field per request.
     pub fn with_prebuilt(rtree: RTree, obstacles: Vec<Obb>, second: SecondStage) -> Self {
-        debug_assert_eq!(rtree.len(), obstacles.len(), "rtree/obstacle mismatch");
+        TwoStageChecker::with_prebuilt_soa(rtree, sat::ObbSoa::build(obstacles), second)
+    }
+
+    /// Like [`TwoStageChecker::with_prebuilt`], but also reuses an
+    /// already-extracted SoA obstacle field (see
+    /// `moped_env::Scenario::prepared_obstacles`), so per-worker checker
+    /// construction copies flat arrays instead of re-deriving axes.
+    pub fn with_prebuilt_soa(rtree: RTree, soa: sat::ObbSoa, second: SecondStage) -> Self {
+        debug_assert_eq!(rtree.len(), soa.len(), "rtree/obstacle mismatch");
         TwoStageChecker {
             rtree,
-            obstacles,
+            soa,
             second,
+            narrow: NarrowMode::Batched,
+            last_hit: std::cell::Cell::new(None),
+            cache_hits: std::cell::Cell::new(0),
+            cache_misses: std::cell::Cell::new(0),
             scratch: std::cell::RefCell::new(TwoStageScratch::default()),
         }
+    }
+
+    /// Selects the narrow-phase kernel (builder style); the default is
+    /// [`NarrowMode::Batched`].
+    pub fn with_narrow_mode(mut self, narrow: NarrowMode) -> Self {
+        self.narrow = narrow;
+        self
     }
 
     /// The underlying obstacle R-tree (exposed for the hardware model's
@@ -280,12 +330,29 @@ impl TwoStageChecker {
 
     /// The obstacle field.
     pub fn obstacles(&self) -> &[Obb] {
-        &self.obstacles
+        self.soa.obbs()
     }
 
     /// The configured second-stage policy.
     pub fn second_stage(&self) -> SecondStage {
         self.second
+    }
+
+    /// The configured narrow-phase kernel.
+    pub fn narrow_mode(&self) -> NarrowMode {
+        self.narrow
+    }
+
+    /// Last-hit cache `(hits, misses)` since construction. Hits skipped a
+    /// broad phase; each miss cost one extra SAT per body at the pose
+    /// where the colliding obstacle changed.
+    pub fn narrow_cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits.get(), self.cache_misses.get())
+    }
+
+    /// Whether the last-hit cache is live under the current configuration.
+    fn cache_enabled(&self) -> bool {
+        self.narrow == NarrowMode::Batched && self.second == SecondStage::ObbExact
     }
 }
 
@@ -294,6 +361,34 @@ impl CollisionChecker for TwoStageChecker {
         let _span = moped_obs::span(moped_obs::Stage::Collision);
         let scratch = &mut *self.scratch.borrow_mut();
         robot.body_obbs_into(q, &mut scratch.bodies);
+
+        // Last-hit cache: re-test the obstacle that collided most
+        // recently before paying for any tree traversal. Only an exact
+        // SAT hit short-circuits, so verdicts are unchanged.
+        if self.cache_enabled() {
+            if let Some(oid) = self.last_hit.get() {
+                let obs = self.soa.get(oid);
+                let mut hit = false;
+                for body in &scratch.bodies {
+                    ledger.second_stage.mem_words += obs.encoded_words();
+                    if sat::obb_obb(obs, body, &mut ledger.second_stage) {
+                        hit = true;
+                        break;
+                    }
+                }
+                if hit {
+                    self.cache_hits.set(self.cache_hits.get() + 1);
+                    moped_obs::counters::bump(moped_obs::Counter::LeafCacheHit);
+                    return false;
+                }
+                // Stale entry: drop it so the miss penalty is paid once
+                // per hit→miss transition, not once per pose.
+                self.last_hit.set(None);
+                self.cache_misses.set(self.cache_misses.get() + 1);
+                moped_obs::counters::bump(moped_obs::Counter::LeafCacheMiss);
+            }
+        }
+
         for body in &scratch.bodies {
             // Stage 1: hierarchical AABB filter (spanned as broad-phase
             // inside `RTree::filter_into`).
@@ -312,17 +407,42 @@ impl CollisionChecker for TwoStageChecker {
                 SecondStage::ObbExact => {
                     // Stage 2: exact check on the few survivors only.
                     let _narrow = moped_obs::span(moped_obs::Stage::NarrowPhase);
-                    for &oid in &scratch.survivors {
-                        let obs = &self.obstacles[oid];
-                        ledger.second_stage.mem_words += obs.encoded_words();
-                        if sat::obb_obb(obs, body, &mut ledger.second_stage) {
-                            return false;
+                    match self.narrow {
+                        NarrowMode::Batched => {
+                            let pre = sat::prepare(body);
+                            for &oid in &scratch.survivors {
+                                ledger.second_stage.mem_words += self.soa.get(oid).encoded_words();
+                            }
+                            if let Some(oid) = sat::obb_obb_batch(
+                                &self.soa,
+                                &scratch.survivors,
+                                &pre,
+                                &mut ledger.second_stage,
+                            ) {
+                                if self.cache_enabled() {
+                                    self.last_hit.set(Some(oid));
+                                }
+                                return false;
+                            }
+                        }
+                        NarrowMode::Reference => {
+                            for &oid in &scratch.survivors {
+                                let obs = self.soa.get(oid);
+                                ledger.second_stage.mem_words += obs.encoded_words();
+                                if sat::obb_obb(obs, body, &mut ledger.second_stage) {
+                                    return false;
+                                }
+                            }
                         }
                     }
                 }
             }
         }
         true
+    }
+
+    fn begin_plan(&self) {
+        self.last_hit.set(None);
     }
 
     fn name(&self) -> &'static str {
@@ -492,6 +612,87 @@ mod tests {
             let a = naive.motion_free(&s.robot, &s.start, &s.goal, &steps, &mut l1);
             let b = two.motion_free(&s.robot, &s.start, &s.goal, &steps, &mut l2);
             assert_eq!(a, b, "{} checkers disagree", s.robot.name());
+        }
+    }
+
+    #[test]
+    fn batched_narrow_phase_matches_reference_verdicts() {
+        for seed in [0u64, 9, 17] {
+            let s = drone_scene(seed, 40);
+            let batched = TwoStageChecker::moped(s.obstacles.clone());
+            let reference =
+                TwoStageChecker::moped(s.obstacles.clone()).with_narrow_mode(NarrowMode::Reference);
+            assert_eq!(batched.narrow_mode(), NarrowMode::Batched);
+            let mut lb = CollisionLedger::default();
+            let mut lr = CollisionLedger::default();
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            for _ in 0..50 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let unit: Vec<f64> = (0..6)
+                    .map(|i| ((state >> (i * 10)) & 0x3FF) as f64 / 1023.0)
+                    .collect();
+                let q = s.robot.config_from_unit(&unit);
+                assert_eq!(
+                    batched.config_free(&s.robot, &q, &mut lb),
+                    reference.config_free(&s.robot, &q, &mut lr),
+                    "narrow kernels disagree at {q:?} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn last_hit_cache_short_circuits_repeat_collisions() {
+        let wall = Obb::axis_aligned(Vec3::new(150.0, 150.0, 150.0), Vec3::new(5.0, 120.0, 120.0));
+        let two = TwoStageChecker::moped(vec![wall]);
+        let robot = Robot::drone_3d();
+        let mut ledger = CollisionLedger::default();
+        // Poses inside the wall: the first collision populates the cache,
+        // each further one is answered by the cached obstacle alone.
+        for y in 0..10 {
+            let q = Config::new(&[150.0, 100.0 + 10.0 * y as f64, 150.0, 0.0, 0.0, 0.0]);
+            assert!(!two.config_free(&robot, &q, &mut ledger));
+        }
+        let (hits, misses) = two.narrow_cache_stats();
+        assert_eq!(hits, 9, "every pose after the first should hit the cache");
+        assert_eq!(misses, 0);
+        // A free pose far away invalidates the entry exactly once.
+        let free = Config::new(&[20.0, 20.0, 20.0, 0.0, 0.0, 0.0]);
+        assert!(two.config_free(&robot, &free, &mut ledger));
+        assert_eq!(two.narrow_cache_stats(), (9, 1));
+        assert!(two.config_free(&robot, &free, &mut ledger));
+        assert_eq!(
+            two.narrow_cache_stats(),
+            (9, 1),
+            "an empty cache must not be consulted again"
+        );
+    }
+
+    #[test]
+    fn cached_verdicts_agree_with_naive_on_mixed_sequences() {
+        // Alternating free/colliding poses exercise every cache
+        // transition; verdicts must still match the all-pairs baseline.
+        let s = drone_scene(13, 36);
+        let naive = NaiveChecker::new(s.obstacles.clone());
+        let two = TwoStageChecker::moped(s.obstacles.clone());
+        let mut ln = CollisionLedger::default();
+        let mut lt = CollisionLedger::default();
+        let mut state = 99u64;
+        for _ in 0..120 {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            let unit: Vec<f64> = (0..6)
+                .map(|i| ((state >> (i * 7)) & 0x7F) as f64 / 127.0)
+                .collect();
+            let q = s.robot.config_from_unit(&unit);
+            assert_eq!(
+                naive.config_free(&s.robot, &q, &mut ln),
+                two.config_free(&s.robot, &q, &mut lt),
+                "cached two-stage diverged at {q:?}"
+            );
         }
     }
 

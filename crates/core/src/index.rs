@@ -113,6 +113,13 @@ pub struct SimbrIndex {
     tree: SiMbrTree,
     approx_search: bool,
     low_cost_insert: bool,
+    /// Reference depth-first traversal instead of best-first (old-vs-new
+    /// baseline for the benches; same exact answers, more node visits).
+    reference_search: bool,
+    /// Search-trace cache: the previous `nearest` winner seeds the next
+    /// query's pruning bound (consecutive RRT\* samples are spatially
+    /// correlated, so the stale winner is usually a tight bound).
+    warm: std::cell::Cell<Option<u64>>,
     search_stats: std::cell::RefCell<SearchStats>,
 }
 
@@ -131,7 +138,19 @@ impl SimbrIndex {
             tree: SiMbrTree::new(dim, node_capacity),
             approx_search,
             low_cost_insert,
+            reference_search: false,
+            warm: std::cell::Cell::new(None),
             search_stats: std::cell::RefCell::new(SearchStats::default()),
+        }
+    }
+
+    /// Pre-rewrite reference engine: depth-first MINDIST descent, no
+    /// warm-start seeding. Exact like [`SimbrIndex::moped`]; kept as the
+    /// old-vs-new baseline for `planner_bench` and the Criterion benches.
+    pub fn reference(dim: usize) -> Self {
+        SimbrIndex {
+            reference_search: true,
+            ..SimbrIndex::new(dim, 6, true, true)
         }
     }
 
@@ -171,9 +190,17 @@ impl NeighborIndex for SimbrIndex {
     }
 
     fn nearest(&self, q: &Config, ops: &mut OpCount) -> Option<(u64, f64)> {
-        let mut stats = SearchStats::default();
-        let out = self.tree.nearest_with_stats(q, ops, &mut stats);
-        self.search_stats.borrow_mut().absorb(&stats);
+        // The persistent accumulator is handed straight to the tree (all
+        // SearchStats fields are additive), so a warm query performs no
+        // heap allocation at all.
+        let mut stats = self.search_stats.borrow_mut();
+        let out = if self.reference_search {
+            self.tree.nearest_reference_dfs(q, ops, &mut stats)
+        } else {
+            self.tree
+                .nearest_with_hint(q, self.warm.get(), ops, &mut stats)
+        };
+        self.warm.set(out.map(|(id, _)| id));
         out
     }
 
@@ -372,6 +399,29 @@ mod tests {
         let mut simbr = SimbrIndex::moped(3);
         fill(&mut simbr, &pts);
         assert!(simbr.search_stats().nodes_visited > 0);
+    }
+
+    #[test]
+    fn reference_engine_agrees_with_best_first() {
+        let pts = seeded_points(180, 6);
+        let mut fast = SimbrIndex::moped(6);
+        let mut reference = SimbrIndex::reference(6);
+        fill(&mut fast, &pts);
+        fill(&mut reference, &pts);
+        let mut ops = OpCount::default();
+        for q in seeded_points(25, 6).iter().map(|p| {
+            let mut q = *p;
+            q.as_mut_slice()[1] += 0.23;
+            q
+        }) {
+            let a = fast.nearest(&q, &mut ops).unwrap().1;
+            let b = reference.nearest(&q, &mut ops).unwrap().1;
+            assert!((a - b).abs() < 1e-12, "engines disagree at {q:?}");
+        }
+        assert!(
+            fast.search_stats().nodes_visited <= reference.search_stats().nodes_visited,
+            "best-first + warm start must not visit more nodes than the DFS"
+        );
     }
 
     #[test]

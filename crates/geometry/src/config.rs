@@ -112,6 +112,24 @@ impl Config {
         self.distance_sq(other)
     }
 
+    /// Counted squared distance to a raw coordinate slice (the SoA leaf
+    /// layout of the flat SI-MBR arena). Arithmetic order and op charges
+    /// are identical to [`Config::distance_sq_counted`].
+    #[inline]
+    pub fn distance_sq_to_slice_counted(&self, other: &[f64], ops: &mut OpCount) -> f64 {
+        debug_assert_eq!(self.dim as usize, other.len(), "dimension mismatch");
+        let d = self.dim as u64;
+        ops.mul += d;
+        ops.add += 2 * d - 1;
+        ops.dist_calcs += 1;
+        let mut acc = 0.0;
+        for (i, &o) in other.iter().enumerate() {
+            let d = self.coords[i] - o;
+            acc += d * d;
+        }
+        acc
+    }
+
     /// Euclidean distance to `other`.
     #[inline]
     pub fn distance(&self, other: &Config) -> f64 {

@@ -168,6 +168,33 @@ impl Rect {
         acc
     }
 
+    /// MINDIST² computed directly over SoA rect planes: `lo`/`hi` are the
+    /// per-axis slices of a flat arena layout, so no `Rect` value has to be
+    /// materialized on the search hot path. Arithmetic order and op charges
+    /// are identical to [`Rect::mindist_sq`].
+    #[inline]
+    pub fn mindist_sq_planes(lo: &[f64], hi: &[f64], q: &Config, ops: &mut OpCount) -> f64 {
+        let d = q.dim();
+        debug_assert_eq!(lo.len(), d);
+        debug_assert_eq!(hi.len(), d);
+        ops.cmp += 2 * d as u64;
+        ops.mul += d as u64;
+        ops.add += (2 * d - 1) as u64;
+        let mut acc = 0.0;
+        for i in 0..d {
+            let v = q[i];
+            let excess = if v < lo[i] {
+                lo[i] - v
+            } else if v > hi[i] {
+                v - hi[i]
+            } else {
+                0.0
+            };
+            acc += excess * excess;
+        }
+        acc
+    }
+
     /// Number of 16-bit words in the paper's on-chip MBR encoding (`2d`).
     pub fn encoded_words(&self) -> u64 {
         2 * self.dim() as u64

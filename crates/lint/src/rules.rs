@@ -92,6 +92,13 @@ pub const RULES: &[Rule] = &[
         check: print_in_lib,
     },
     Rule {
+        id: "no-recursion-in-hot-path",
+        severity: Severity::Error,
+        summary: "no recursive self-calls in simbr/collision search functions (iterate over \
+                  explicit scratch instead)",
+        check: no_recursion_in_hot_path,
+    },
+    Rule {
         id: "cargo-deps",
         severity: Severity::Error,
         summary:
@@ -459,6 +466,102 @@ fn nested_lock(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                 "second `.lock()` in one function body — overlapping guards risk lock-order \
                  inversion; split the function or document the ordering with a pragma"
                     .to_string(),
+            );
+        }
+    }
+}
+
+/// Function-name prefixes that mark the neighbor-search and collision
+/// hot paths for `no-recursion-in-hot-path`.
+const HOT_PATH_PREFIXES: &[&str] = &[
+    "nearest",
+    "near",
+    "search",
+    "filter",
+    "config_free",
+    "motion_free",
+];
+
+/// rule `no-recursion-in-hot-path` — the flat-arena engine exists so the
+/// per-query hot paths run allocation-free iterative loops over reusable
+/// scratch; a recursive self-call reintroduces unbounded stack growth
+/// and per-level call overhead, and silently defeats the zero-alloc
+/// contract the `hot_path_alloc` tests pin. Search-shaped functions
+/// (see [`HOT_PATH_PREFIXES`]) in `simbr` and `collision` must not call
+/// themselves.
+fn no_recursion_in_hot_path(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !applies(ctx, &["simbr", "collision"]) {
+        return;
+    }
+    let toks = ctx.tokens;
+    // Collect (name, body span) for every hot-path function.
+    let mut fns: Vec<(&str, usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = name_tok.text.as_str();
+        if !HOT_PATH_PREFIXES.iter().any(|p| name.starts_with(p)) {
+            continue;
+        }
+        // Find the body's opening brace, then match it.
+        let mut j = i + 2;
+        let mut open = None;
+        while let Some(tok) = toks.get(j) {
+            if tok.is_punct("{") {
+                open = Some(j);
+                break;
+            }
+            if tok.is_punct(";") {
+                break; // trait method declaration: no body
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut k = open;
+        while let Some(tok) = toks.get(k) {
+            if tok.is_punct("{") {
+                depth += 1;
+            } else if tok.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        fns.push((name, open, k));
+    }
+    // Flag calls of the function's own name inside its body.
+    for &(name, open, close) in &fns {
+        for i in (open + 1)..close.min(toks.len()) {
+            let t = &toks[i];
+            if !t.is_ident(name)
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                || ctx.is_test_line(t.line)
+            {
+                continue;
+            }
+            // `fn name(` inside the span is a nested definition, not a call.
+            if i > 0 && toks[i - 1].is_ident("fn") {
+                continue;
+            }
+            emit(
+                ctx,
+                out,
+                "no-recursion-in-hot-path",
+                t.line,
+                format!(
+                    "`{name}` calls itself — hot-path search functions must be iterative \
+                     (explicit frontier/stack over reusable scratch), not recursive"
+                ),
             );
         }
     }

@@ -214,6 +214,33 @@ fn cargo_deps_good() {
 }
 
 #[test]
+fn hot_path_recursion_bad() {
+    // Line 6: free-fn self-call; line 16: method self-call.
+    assert_eq!(
+        findings("bad_hot_path_recursion.rs", "simbr"),
+        vec![
+            ("no-recursion-in-hot-path", 6),
+            ("no-recursion-in-hot-path", 16),
+        ]
+    );
+    assert_eq!(
+        findings("bad_hot_path_recursion.rs", "collision"),
+        vec![
+            ("no-recursion-in-hot-path", 6),
+            ("no-recursion-in-hot-path", 16),
+        ]
+    );
+}
+
+#[test]
+fn hot_path_recursion_good() {
+    assert_eq!(findings("good_hot_path_recursion.rs", "simbr"), vec![]);
+    // The rule is scoped: the same recursive fixture is clean outside the
+    // hot-path crates.
+    assert_eq!(findings("bad_hot_path_recursion.rs", "core"), vec![]);
+}
+
+#[test]
 fn test_files_are_exempt_from_crate_rules() {
     // The same panic-path fixture is clean when the file itself is test
     // code (tests/, benches/, examples/).

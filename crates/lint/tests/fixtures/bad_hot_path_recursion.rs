@@ -1,0 +1,18 @@
+// Seeded violation: recursive descent on the search hot path.
+pub fn nearest_rec(node: usize, depth: usize) -> Option<usize> {
+    if depth == 0 {
+        return Some(node);
+    }
+    nearest_rec(node * 2 + 1, depth - 1)
+}
+
+struct Checker;
+
+impl Checker {
+    fn config_free(&self, depth: usize) -> bool {
+        if depth == 0 {
+            return true;
+        }
+        self.config_free(depth - 1)
+    }
+}

@@ -96,16 +96,22 @@ pub struct EnvSnapshot {
     pub scenario: Scenario,
     /// STR-bulk-loaded R-tree over the scenario's obstacles.
     pub rtree: RTree,
+    /// Precomputed SoA obstacle field for the batched narrow phase
+    /// (centers / half-extents / axes extracted once at registration).
+    pub soa: moped_geometry::sat::ObbSoa,
 }
 
 impl EnvSnapshot {
-    /// Builds a snapshot, paying the R-tree bulk load once.
+    /// Builds a snapshot, paying the R-tree bulk load and the SoA
+    /// obstacle extraction once.
     pub fn new(name: impl Into<String>, scenario: Scenario) -> Self {
         let rtree = RTree::build(&scenario.obstacles, SNAPSHOT_RTREE_FANOUT);
+        let soa = scenario.prepared_obstacles();
         EnvSnapshot {
             name: name.into(),
             scenario,
             rtree,
+            soa,
         }
     }
 }

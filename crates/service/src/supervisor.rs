@@ -423,9 +423,9 @@ fn execute(
     let naive;
     let checker: &dyn moped_collision::CollisionChecker = if two_stage {
         checkers.entry(job.env_id).or_insert_with(|| {
-            TwoStageChecker::with_prebuilt(
+            TwoStageChecker::with_prebuilt_soa(
                 job.env.rtree.clone(),
-                scenario.obstacles.clone(),
+                job.env.soa.clone(),
                 SecondStage::ObbExact,
             )
         })

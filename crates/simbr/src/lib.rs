@@ -6,10 +6,10 @@
 //! rectangle (MBR) of its descendants. Three capabilities distinguish it
 //! from a stock R-tree:
 //!
-//! 1. **MINDIST branch-and-bound nearest search** — children are visited
-//!    in ascending MINDIST order and a subtree is skipped the moment its
-//!    MINDIST exceeds the best distance found so far, since MINDIST lower
-//!    bounds the distance to *every* leaf in the subtree.
+//! 1. **MINDIST branch-and-bound nearest search** — subtrees are expanded
+//!    in globally ascending MINDIST order (best-first) and skipped the
+//!    moment their MINDIST exceeds the best distance found so far, since
+//!    MINDIST lower bounds the distance to *every* leaf in the subtree.
 //! 2. **Steering-informed approximated neighborhoods (SIAS)** — because
 //!    `x_new` is steered a short step from `x_nearest`, the leaf group
 //!    (siblings) of `x_nearest` approximates the `near()` set of `x_new`,
@@ -17,6 +17,24 @@
 //! 3. **Low-cost O(1) insertion (LCI)** — `x_new` is inserted directly as
 //!    a sibling of `x_nearest`, skipping the conventional root-to-leaf
 //!    min-area-enlargement descent.
+//!
+//! # Layout and caching
+//!
+//! The tree is stored as a flat structure-of-arrays arena: rect planes
+//! are contiguous `f64` slabs, child/entry slots are fixed-stride spans,
+//! and leaf points live in one coordinate slab — no per-node `Vec`, no
+//! pointer chasing on the search hot path. Two software analogs of the
+//! paper's multi-level caches (§IV-C) ride on this layout:
+//!
+//! * **Pinned top-of-tree block** (Top NS Cache analog): whenever the
+//!   root grows, the arena is repacked breadth-first so the top
+//!   [`TOP_LEVELS`] levels occupy one contiguous prefix; pops landing in
+//!   the prefix count as top-block hits.
+//! * **Search-trace seed** (search-trace cache analog):
+//!   [`SiMbrTree::nearest_with_hint`] accepts the previous round's winner
+//!   and seeds the pruning bound with its exact distance — an attained
+//!   distance is a valid upper bound, so exactness is preserved while the
+//!   warm bound prunes the frontier from the first pop.
 //!
 //! Both the conventional insertion (for the V2/V3 ablations) and LCI (V4)
 //! are implemented; every kernel charges an [`OpCount`] ledger.
@@ -39,9 +57,22 @@
 
 #![deny(missing_docs)]
 
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
 use moped_geometry::{Config, OpCount, Rect};
+use moped_obs::counters::{bump, Counter};
+
+/// Number of tree levels held in the pinned top-of-tree block (the
+/// software Top NS Cache). The prefix is refreshed on every root growth.
+/// Four levels of a fanout-≤7 tree is at most 400 nodes — a few tens of
+/// KiB of rect planes and slots, comfortably inside the on-chip SRAM the
+/// paper budgets for its Top NS Cache.
+pub const TOP_LEVELS: usize = 4;
+
+/// Sentinel for "no parent" in the flat parent array.
+const NO_NODE: u32 = u32::MAX;
 
 /// Per-search traversal statistics, consumed by the hardware cache model
 /// (top-of-tree visits become Top NS Cache hits) and the evaluation
@@ -86,6 +117,21 @@ impl SearchStats {
     }
 }
 
+/// Per-tree software cache effectiveness counters. Deterministic and
+/// always on (plain `Cell` bumps); the process-global `moped-obs`
+/// counters mirror these when tracing is enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Best-first pops that landed inside the pinned top block.
+    pub top_hits: u64,
+    /// Best-first pops outside the pinned top block.
+    pub top_misses: u64,
+    /// Queries whose hint entry was present and seeded the bound.
+    pub seed_hits: u64,
+    /// Queries whose hint entry was absent (or no hint given).
+    pub seed_misses: u64,
+}
+
 /// A leaf entry: one exploration-tree node.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Entry {
@@ -95,30 +141,109 @@ pub struct Entry {
     pub point: Config,
 }
 
-#[derive(Clone, Debug)]
-enum NodeKind {
-    Inner(Vec<usize>),
-    Leaf(Vec<Entry>),
+/// One frontier element of the best-first search (also reused as the
+/// explicit stack of the reference DFS).
+#[derive(Clone, Copy, Debug)]
+struct Frontier {
+    md: f64,
+    node: u32,
+    depth: u32,
 }
 
-#[derive(Clone, Debug)]
-struct Node {
-    parent: Option<usize>,
-    rect: Rect,
-    kind: NodeKind,
+/// Total order on frontier elements: ascending MINDIST, ties broken by
+/// node id so the traversal is deterministic.
+#[inline]
+fn frontier_before(a: &Frontier, b: &Frontier) -> bool {
+    match a.md.partial_cmp(&b.md).expect("finite MINDIST") {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a.node < b.node,
+    }
+}
+
+/// Binary min-heap push; every ordering probe is charged one `cmp`.
+fn heap_push(h: &mut Vec<Frontier>, f: Frontier, ops: &mut OpCount) {
+    h.push(f);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let p = (i - 1) / 2;
+        ops.cmp += 1;
+        if frontier_before(&h[i], &h[p]) {
+            h.swap(i, p);
+            i = p;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Binary min-heap pop; every ordering probe is charged one `cmp`.
+fn heap_pop(h: &mut Vec<Frontier>, ops: &mut OpCount) -> Option<Frontier> {
+    let out = *h.first()?;
+    let last = h.pop().expect("non-empty");
+    if !h.is_empty() {
+        h[0] = last;
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut m = i;
+            if l < h.len() {
+                ops.cmp += 1;
+                if frontier_before(&h[l], &h[m]) {
+                    m = l;
+                }
+            }
+            if r < h.len() {
+                ops.cmp += 1;
+                if frontier_before(&h[r], &h[m]) {
+                    m = r;
+                }
+            }
+            if m == i {
+                break;
+            }
+            h.swap(i, m);
+            i = m;
+        }
+    }
+    Some(out)
 }
 
 /// The steering-informed MBR tree. See the crate-level docs.
 #[derive(Clone, Debug)]
 pub struct SiMbrTree {
-    nodes: Vec<Node>,
+    // --- flat SoA arena, all arrays indexed by node id ---
+    /// Rect minimum planes, stride `dim`.
+    lo: Vec<f64>,
+    /// Rect maximum planes, stride `dim`.
+    hi: Vec<f64>,
+    /// Parent node id, `NO_NODE` for the root.
+    parent: Vec<u32>,
+    /// Leaf flag per node.
+    is_leaf: Vec<bool>,
+    /// Live child/entry count per node.
+    count: Vec<u32>,
+    /// Child node ids (inner) or entry ids (leaf), stride `cap`.
+    slots: Vec<u64>,
+    /// Leaf entry coordinates, stride `cap * dim`.
+    pts: Vec<f64>,
     root: Option<usize>,
     // BTreeMap, not HashMap: this crate's results must be bit-reproducible
     // and hash iteration order is not (lint rule `hash-collections`).
     entry_leaf: BTreeMap<u64, usize>,
     dim: usize,
     max_entries: usize,
+    /// Slots per node: `max_entries + 1` so a node can hold its overflow
+    /// item for the instant between insertion and split.
+    cap: usize,
     len: usize,
+    /// Arena prefix length of the pinned top block (nodes in the top
+    /// [`TOP_LEVELS`] levels as of the last repack).
+    top_len: usize,
+    /// Reusable best-first frontier / DFS stack: amortizes to zero heap
+    /// allocation per query.
+    frontier: RefCell<Vec<Frontier>>,
+    cache_stats: Cell<CacheStats>,
 }
 
 impl SiMbrTree {
@@ -139,12 +264,22 @@ impl SiMbrTree {
             "unsupported dimension {dim}"
         );
         SiMbrTree {
-            nodes: Vec::new(),
+            lo: Vec::new(),
+            hi: Vec::new(),
+            parent: Vec::new(),
+            is_leaf: Vec::new(),
+            count: Vec::new(),
+            slots: Vec::new(),
+            pts: Vec::new(),
             root: None,
             entry_leaf: BTreeMap::new(),
             dim,
             max_entries,
+            cap: max_entries + 1,
             len: 0,
+            top_len: 0,
+            frontier: RefCell::new(Vec::new()),
+            cache_stats: Cell::new(CacheStats::default()),
         }
     }
 
@@ -167,8 +302,8 @@ impl SiMbrTree {
     pub fn height(&self) -> usize {
         let Some(mut n) = self.root else { return 0 };
         let mut h = 1;
-        while let NodeKind::Inner(kids) = &self.nodes[n].kind {
-            n = kids[0];
+        while !self.is_leaf[n] {
+            n = self.slots[n * self.cap] as usize;
             h += 1;
         }
         h
@@ -176,21 +311,86 @@ impl SiMbrTree {
 
     /// Total allocated node count.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.parent.len()
+    }
+
+    /// Arena prefix length of the pinned top-of-tree block: every node id
+    /// below this bound sat in the top [`TOP_LEVELS`] levels at the last
+    /// breadth-first repack.
+    pub fn top_block_len(&self) -> usize {
+        self.top_len
+    }
+
+    /// Per-tree software cache counters (monotonic since construction).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats.get()
     }
 
     /// On-chip footprint in 16-bit words: each node MBR is `2d` words plus
     /// one pointer word per child/entry; each entry point is `d` words.
     pub fn memory_words(&self) -> u64 {
         let mut words = 0u64;
-        for node in &self.nodes {
+        for n in 0..self.node_count() {
             words += 2 * self.dim as u64;
-            words += match &node.kind {
-                NodeKind::Inner(k) => k.len() as u64,
-                NodeKind::Leaf(l) => l.len() as u64 * (1 + self.dim as u64),
+            words += if self.is_leaf[n] {
+                self.count[n] as u64 * (1 + self.dim as u64)
+            } else {
+                self.count[n] as u64
             };
         }
         words
+    }
+
+    // ------------------------------------------------------------------
+    // Arena accessors
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn lo_of(&self, n: usize) -> &[f64] {
+        &self.lo[n * self.dim..n * self.dim + self.dim]
+    }
+
+    #[inline]
+    fn hi_of(&self, n: usize) -> &[f64] {
+        &self.hi[n * self.dim..n * self.dim + self.dim]
+    }
+
+    fn node_rect(&self, n: usize) -> Rect {
+        Rect::new(Config::new(self.lo_of(n)), Config::new(self.hi_of(n)))
+    }
+
+    fn set_rect(&mut self, n: usize, r: &Rect) {
+        let base = n * self.dim;
+        self.lo[base..base + self.dim].copy_from_slice(r.lo().as_slice());
+        self.hi[base..base + self.dim].copy_from_slice(r.hi().as_slice());
+    }
+
+    #[inline]
+    fn kids_of(&self, n: usize) -> &[u64] {
+        &self.slots[n * self.cap..n * self.cap + self.count[n] as usize]
+    }
+
+    #[inline]
+    fn entry_pt(&self, n: usize, k: usize) -> &[f64] {
+        let base = (n * self.cap + k) * self.dim;
+        &self.pts[base..base + self.dim]
+    }
+
+    fn entry_config(&self, n: usize, k: usize) -> Config {
+        Config::new(self.entry_pt(n, k))
+    }
+
+    /// Appends a fresh node to every arena column; returns its id.
+    fn alloc_node(&mut self, parent: u32, is_leaf: bool) -> usize {
+        let id = self.parent.len();
+        self.lo.resize(self.lo.len() + self.dim, 0.0);
+        self.hi.resize(self.hi.len() + self.dim, 0.0);
+        self.parent.push(parent);
+        self.is_leaf.push(is_leaf);
+        self.count.push(0);
+        self.slots.resize(self.slots.len() + self.cap, 0);
+        self.pts.resize(self.pts.len() + self.cap * self.dim, 0.0);
+        id
     }
 
     // ------------------------------------------------------------------
@@ -213,30 +413,27 @@ impl SiMbrTree {
             return;
         };
         let mut node = root;
-        loop {
-            match &self.nodes[node].kind {
-                NodeKind::Leaf(_) => break,
-                NodeKind::Inner(kids) => {
-                    // Min-area-enlargement choice, the costly part the
-                    // paper's LCI removes.
-                    let mut best = kids[0];
-                    let mut best_enl = f64::INFINITY;
-                    let mut best_area = f64::INFINITY;
-                    for &k in kids {
-                        let enl = self.nodes[k].rect.enlargement_counted(&point, ops);
-                        let area = self.nodes[k].rect.measure();
-                        ops.cmp += 1;
-                        if enl < best_enl || (enl == best_enl && area < best_area) {
-                            best = k;
-                            best_enl = enl;
-                            best_area = area;
-                        }
-                    }
-                    // Reading each child MBR costs 2d words.
-                    ops.mem_words += kids.len() as u64 * 2 * self.dim as u64;
-                    node = best;
+        while !self.is_leaf[node] {
+            // Min-area-enlargement choice, the costly part the paper's
+            // LCI removes.
+            let kids = self.kids_of(node);
+            let mut best = kids[0] as usize;
+            let mut best_enl = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for &k in kids {
+                let rect = self.node_rect(k as usize);
+                let enl = rect.enlargement_counted(&point, ops);
+                let area = rect.measure();
+                ops.cmp += 1;
+                if enl < best_enl || (enl == best_enl && area < best_area) {
+                    best = k as usize;
+                    best_enl = enl;
+                    best_area = area;
                 }
             }
+            // Reading each child MBR costs 2d words.
+            ops.mem_words += self.count[node] as u64 * 2 * self.dim as u64;
+            node = best;
         }
         self.push_entry(node, Entry { id, point }, ops);
     }
@@ -268,33 +465,50 @@ impl SiMbrTree {
     }
 
     fn create_root(&mut self, id: u64, point: Config) {
-        self.nodes.push(Node {
-            parent: None,
-            rect: Rect::from_point(&point),
-            kind: NodeKind::Leaf(vec![Entry { id, point }]),
-        });
-        self.root = Some(self.nodes.len() - 1);
-        self.entry_leaf.insert(id, self.nodes.len() - 1);
+        let n = self.alloc_node(NO_NODE, true);
+        self.set_rect(n, &Rect::from_point(&point));
+        self.write_entry(n, 0, id, &point);
+        self.count[n] = 1;
+        self.root = Some(n);
+        self.entry_leaf.insert(id, n);
         self.len = 1;
+        self.top_len = 1;
+    }
+
+    fn write_entry(&mut self, leaf: usize, slot: usize, id: u64, point: &Config) {
+        self.slots[leaf * self.cap + slot] = id;
+        let base = (leaf * self.cap + slot) * self.dim;
+        self.pts[base..base + self.dim].copy_from_slice(point.as_slice());
     }
 
     fn push_entry(&mut self, leaf: usize, entry: Entry, ops: &mut OpCount) {
-        debug_assert!(matches!(self.nodes[leaf].kind, NodeKind::Leaf(_)));
-        let id = entry.id;
-        let point = entry.point;
-        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf].kind {
-            entries.push(entry);
-        }
-        self.entry_leaf.insert(id, leaf);
+        debug_assert!(self.is_leaf[leaf]);
+        let slot = self.count[leaf] as usize;
+        debug_assert!(slot < self.cap, "leaf overfull before split");
+        self.write_entry(leaf, slot, entry.id, &entry.point);
+        self.count[leaf] += 1;
+        self.entry_leaf.insert(entry.id, leaf);
         self.len += 1;
-        // Extend ancestor MBRs; per level this is 2d min/max compares and
-        // a 2d-word write-back.
-        let mut n = Some(leaf);
-        while let Some(ni) = n {
-            self.nodes[ni].rect = self.nodes[ni].rect.union_point(&point);
+        // Extend ancestor MBRs in place; per level this is 2d min/max
+        // compares and a 2d-word write-back.
+        let mut n = leaf;
+        loop {
+            let base = n * self.dim;
+            for i in 0..self.dim {
+                let v = entry.point[i];
+                if v < self.lo[base + i] {
+                    self.lo[base + i] = v;
+                }
+                if v > self.hi[base + i] {
+                    self.hi[base + i] = v;
+                }
+            }
             ops.cmp += 2 * self.dim as u64;
             ops.mem_words += 2 * self.dim as u64;
-            n = self.nodes[ni].parent;
+            if self.parent[n] == NO_NODE {
+                break;
+            }
+            n = self.parent[n] as usize;
         }
         self.maybe_split(leaf, ops);
     }
@@ -304,98 +518,172 @@ impl SiMbrTree {
     // ------------------------------------------------------------------
 
     fn maybe_split(&mut self, mut node: usize, ops: &mut OpCount) {
-        loop {
-            let over = match &self.nodes[node].kind {
-                NodeKind::Leaf(e) => e.len() > self.max_entries,
-                NodeKind::Inner(k) => k.len() > self.max_entries,
-            };
-            if !over {
-                return;
-            }
-            let parent = self.split_node(node, ops);
+        let mut grew = false;
+        while self.count[node] as usize > self.max_entries {
+            let (parent, grew_now) = self.split_node(node, ops);
+            grew |= grew_now;
             node = parent;
+        }
+        if grew {
+            // Root growth is the deterministic refill point of the pinned
+            // top block: repack the arena breadth-first so the top levels
+            // are one contiguous prefix. Charged as free, like the
+            // paper's background cache fill.
+            self.repack();
         }
     }
 
     /// Splits `node` in two; returns the parent that gained a child (and
-    /// may itself now be overfull).
-    fn split_node(&mut self, node: usize, ops: &mut OpCount) -> usize {
-        let new_node = match &self.nodes[node].kind {
-            NodeKind::Leaf(entries) => {
-                let rects: Vec<Rect> = entries.iter().map(|e| Rect::from_point(&e.point)).collect();
-                let (ga, gb) = quadratic_split(&rects, ops);
-                let entries = entries.clone();
-                let keep: Vec<Entry> = ga.iter().map(|&i| entries[i]).collect();
-                let moved: Vec<Entry> = gb.iter().map(|&i| entries[i]).collect();
-                let keep_rect = points_rect(&keep);
-                let moved_rect = points_rect(&moved);
-                self.nodes[node].kind = NodeKind::Leaf(keep);
-                self.nodes[node].rect = keep_rect;
-                self.nodes.push(Node {
-                    parent: self.nodes[node].parent,
-                    rect: moved_rect,
-                    kind: NodeKind::Leaf(moved.clone()),
-                });
-                let new_id = self.nodes.len() - 1;
-                for e in &moved {
-                    self.entry_leaf.insert(e.id, new_id);
-                }
-                new_id
-            }
-            NodeKind::Inner(kids) => {
-                let rects: Vec<Rect> = kids.iter().map(|&k| self.nodes[k].rect).collect();
-                let (ga, gb) = quadratic_split(&rects, ops);
-                let kids = kids.clone();
-                let keep: Vec<usize> = ga.iter().map(|&i| kids[i]).collect();
-                let moved: Vec<usize> = gb.iter().map(|&i| kids[i]).collect();
-                let keep_rect = self.kids_rect(&keep);
-                let moved_rect = self.kids_rect(&moved);
-                self.nodes[node].kind = NodeKind::Inner(keep);
-                self.nodes[node].rect = keep_rect;
-                self.nodes.push(Node {
-                    parent: self.nodes[node].parent,
-                    rect: moved_rect,
-                    kind: NodeKind::Inner(moved.clone()),
-                });
-                let new_id = self.nodes.len() - 1;
-                for k in moved {
-                    self.nodes[k].parent = Some(new_id);
-                }
-                new_id
-            }
+    /// may itself now be overfull) plus whether the root grew.
+    fn split_node(&mut self, node: usize, ops: &mut OpCount) -> (usize, bool) {
+        let is_leaf = self.is_leaf[node];
+        let n_items = self.count[node] as usize;
+        let rects: Vec<Rect> = if is_leaf {
+            (0..n_items)
+                .map(|k| Rect::from_point(&self.entry_config(node, k)))
+                .collect()
+        } else {
+            (0..n_items)
+                .map(|k| self.node_rect(self.slots[node * self.cap + k] as usize))
+                .collect()
+        };
+        let (ga, gb) = quadratic_split(&rects, ops);
+
+        let slot_snap: Vec<u64> = self.kids_of(node).to_vec();
+        let pt_snap: Vec<Config> = if is_leaf {
+            (0..n_items).map(|k| self.entry_config(node, k)).collect()
+        } else {
+            Vec::new()
         };
 
-        match self.nodes[node].parent {
-            Some(p) => {
-                if let NodeKind::Inner(kids) = &mut self.nodes[p].kind {
-                    kids.push(new_node);
-                } else {
-                    unreachable!("parent of a split node must be inner");
-                }
-                p
+        let new_node = self.alloc_node(self.parent[node], is_leaf);
+        let group_rect = |group: &[usize]| -> Rect {
+            group
+                .iter()
+                .map(|&i| rects[i])
+                .reduce(|a, b| a.union(&b))
+                .expect("split groups are non-empty")
+        };
+        let keep_rect = group_rect(&ga);
+        let moved_rect = group_rect(&gb);
+
+        // Rewrite the kept group in place, the moved group into the twin.
+        for (slot, &i) in ga.iter().enumerate() {
+            self.slots[node * self.cap + slot] = slot_snap[i];
+            if is_leaf {
+                let (id, p) = (slot_snap[i], pt_snap[i]);
+                self.write_entry(node, slot, id, &p);
             }
-            None => {
-                // Grow a new root.
-                let rect = self.nodes[node].rect.union(&self.nodes[new_node].rect);
-                self.nodes.push(Node {
-                    parent: None,
-                    rect,
-                    kind: NodeKind::Inner(vec![node, new_node]),
-                });
-                let root = self.nodes.len() - 1;
-                self.nodes[node].parent = Some(root);
-                self.nodes[new_node].parent = Some(root);
-                self.root = Some(root);
-                root
+        }
+        self.count[node] = ga.len() as u32;
+        self.set_rect(node, &keep_rect);
+        for (slot, &i) in gb.iter().enumerate() {
+            if is_leaf {
+                self.write_entry(new_node, slot, slot_snap[i], &pt_snap[i]);
+                self.entry_leaf.insert(slot_snap[i], new_node);
+            } else {
+                self.slots[new_node * self.cap + slot] = slot_snap[i];
+                self.parent[slot_snap[i] as usize] = new_node as u32;
             }
+        }
+        self.count[new_node] = gb.len() as u32;
+        self.set_rect(new_node, &moved_rect);
+
+        if self.parent[node] == NO_NODE {
+            // Grow a new root.
+            let rect = keep_rect.union(&moved_rect);
+            let root = self.alloc_node(NO_NODE, false);
+            self.set_rect(root, &rect);
+            self.slots[root * self.cap] = node as u64;
+            self.slots[root * self.cap + 1] = new_node as u64;
+            self.count[root] = 2;
+            self.parent[node] = root as u32;
+            self.parent[new_node] = root as u32;
+            self.root = Some(root);
+            (root, true)
+        } else {
+            let p = self.parent[node] as usize;
+            debug_assert!(!self.is_leaf[p], "parent of a split node must be inner");
+            let slot = self.count[p] as usize;
+            debug_assert!(slot < self.cap, "parent overfull before split");
+            self.slots[p * self.cap + slot] = new_node as u64;
+            self.count[p] += 1;
+            (p, false)
         }
     }
 
-    fn kids_rect(&self, kids: &[usize]) -> Rect {
-        kids.iter()
-            .map(|&k| self.nodes[k].rect)
-            .reduce(|a, b| a.union(&b))
-            .expect("split groups are non-empty")
+    /// Breadth-first arena repack: relabels every node so levels occupy
+    /// contiguous index ranges (root = 0), then records the prefix length
+    /// of the top [`TOP_LEVELS`] levels as the pinned block. Runs only on
+    /// root growth, so the amortized cost over n insertions is O(log n)
+    /// full passes.
+    fn repack(&mut self) {
+        let Some(root) = self.root else { return };
+        let n = self.node_count();
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut depth: Vec<u32> = Vec::with_capacity(n);
+        order.push(root as u32);
+        depth.push(0);
+        let mut i = 0;
+        while i < order.len() {
+            let v = order[i] as usize;
+            if !self.is_leaf[v] {
+                for k in 0..self.count[v] as usize {
+                    order.push(self.slots[v * self.cap + k] as u32);
+                    depth.push(depth[i] + 1);
+                }
+            }
+            i += 1;
+        }
+        debug_assert_eq!(order.len(), n, "splits never orphan nodes");
+
+        let mut new_of: Vec<u32> = vec![NO_NODE; n];
+        for (new_idx, &old) in order.iter().enumerate() {
+            new_of[old as usize] = new_idx as u32;
+        }
+
+        let (dim, cap) = (self.dim, self.cap);
+        let mut lo = vec![0.0; n * dim];
+        let mut hi = vec![0.0; n * dim];
+        let mut parent = vec![NO_NODE; n];
+        let mut is_leaf = vec![false; n];
+        let mut count = vec![0u32; n];
+        let mut slots = vec![0u64; n * cap];
+        let mut pts = vec![0.0; n * cap * dim];
+        for (new_idx, &old_u) in order.iter().enumerate() {
+            let old = old_u as usize;
+            lo[new_idx * dim..(new_idx + 1) * dim].copy_from_slice(self.lo_of(old));
+            hi[new_idx * dim..(new_idx + 1) * dim].copy_from_slice(self.hi_of(old));
+            if self.parent[old] != NO_NODE {
+                parent[new_idx] = new_of[self.parent[old] as usize];
+            }
+            is_leaf[new_idx] = self.is_leaf[old];
+            count[new_idx] = self.count[old];
+            let c = self.count[old] as usize;
+            if self.is_leaf[old] {
+                slots[new_idx * cap..new_idx * cap + c]
+                    .copy_from_slice(&self.slots[old * cap..old * cap + c]);
+                pts[new_idx * cap * dim..new_idx * cap * dim + c * dim]
+                    .copy_from_slice(&self.pts[old * cap * dim..old * cap * dim + c * dim]);
+                for k in 0..c {
+                    let id = slots[new_idx * cap + k];
+                    self.entry_leaf.insert(id, new_idx);
+                }
+            } else {
+                for k in 0..c {
+                    slots[new_idx * cap + k] = new_of[self.slots[old * cap + k] as usize] as u64;
+                }
+            }
+        }
+        self.lo = lo;
+        self.hi = hi;
+        self.parent = parent;
+        self.is_leaf = is_leaf;
+        self.count = count;
+        self.slots = slots;
+        self.pts = pts;
+        self.root = Some(0);
+        self.top_len = depth.iter().filter(|&&d| (d as usize) < TOP_LEVELS).count();
     }
 
     // ------------------------------------------------------------------
@@ -404,10 +692,11 @@ impl SiMbrTree {
 
     /// Exact nearest neighbor of `query`: returns `(entry id, distance)`.
     ///
-    /// Children are explored in ascending-MINDIST order; a child (and its
-    /// whole subtree) is skipped when its MINDIST can no longer beat the
-    /// current best — the §III-B pruning rule. Returns `None` on an empty
-    /// tree. See [`SiMbrTree::nearest_with_stats`] for traversal detail.
+    /// Subtrees are expanded in globally ascending MINDIST order
+    /// (best-first over a reusable frontier); a child is skipped the
+    /// moment its MINDIST can no longer beat the current best — the
+    /// §III-B pruning rule. Returns `None` on an empty tree. See
+    /// [`SiMbrTree::nearest_with_stats`] for traversal detail.
     pub fn nearest(&self, query: &Config, ops: &mut OpCount) -> Option<(u64, f64)> {
         let mut stats = SearchStats::default();
         self.nearest_with_stats(query, ops, &mut stats)
@@ -424,18 +713,35 @@ impl SiMbrTree {
         ops: &mut OpCount,
         stats: &mut SearchStats,
     ) -> Option<(u64, f64)> {
+        self.nearest_with_hint(query, None, ops, stats)
+    }
+
+    /// Exact nearest neighbor with a search-trace cache seed: when `hint`
+    /// names an indexed entry (typically the previous round's winner),
+    /// its exact distance initializes the pruning bound *and* the best
+    /// candidate, so the answer stays exact while the frontier is pruned
+    /// from the first pop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim()` differs from the tree dimension.
+    pub fn nearest_with_hint(
+        &self,
+        query: &Config,
+        hint: Option<u64>,
+        ops: &mut OpCount,
+        stats: &mut SearchStats,
+    ) -> Option<(u64, f64)> {
         assert_eq!(query.dim(), self.dim, "dimension mismatch");
-        let root = self.root?;
+        self.root?;
         let _span = moped_obs::span(moped_obs::Stage::MbrDescent);
-        let mut best: Option<u64> = None;
-        let mut best_d2 = f64::INFINITY;
-        self.nearest_rec(root, 0, query, &mut best, &mut best_d2, ops, stats);
-        best.map(|id| (id, best_d2.sqrt()))
+        self.search_best_first(query, hint, false, ops, stats)
     }
 
     /// Exact nearest neighbor that additionally records the ordered node
     /// access trace into `stats.access_trace` — the input the hardware
-    /// cache simulator replays against the Top NS Cache model.
+    /// cache simulator replays against the Top NS Cache model. Identical
+    /// traversal (and result) to [`SiMbrTree::nearest_with_stats`].
     pub fn nearest_traced(
         &self,
         query: &Config,
@@ -443,129 +749,211 @@ impl SiMbrTree {
         stats: &mut SearchStats,
     ) -> Option<(u64, f64)> {
         assert_eq!(query.dim(), self.dim, "dimension mismatch");
-        let root = self.root?;
-        let mut best: Option<u64> = None;
-        let mut best_d2 = f64::INFINITY;
-        self.nearest_rec_traced(root, 0, query, &mut best, &mut best_d2, ops, stats);
-        best.map(|id| (id, best_d2.sqrt()))
+        self.search_best_first(query, None, true, ops, stats)
     }
 
-    // The recursion threads search state (best id/distance, op and trace
-    // ledgers) explicitly instead of bundling a context struct per call.
-    #[allow(clippy::too_many_arguments)]
-    fn nearest_rec_traced(
+    /// The shared best-first core: pops the frontier node with the
+    /// smallest MINDIST, expands it, and admits children only while their
+    /// MINDIST beats the current bound. Terminates when the cheapest
+    /// frontier element can no longer win — at which point *every*
+    /// remaining element is provably skippable, which is what makes
+    /// best-first visit-optimal (it expands exactly the nodes whose
+    /// MINDIST is below the true nearest distance).
+    fn search_best_first(
         &self,
-        node: usize,
-        depth: usize,
         query: &Config,
-        best: &mut Option<u64>,
-        best_d2: &mut f64,
+        hint: Option<u64>,
+        trace: bool,
         ops: &mut OpCount,
         stats: &mut SearchStats,
-    ) {
-        stats.access_trace.push(node);
-        stats.bump_depth(depth);
-        match &self.nodes[node].kind {
-            NodeKind::Leaf(entries) => {
-                for e in entries {
-                    ops.mem_words += self.dim as u64;
-                    let d2 = e.point.distance_sq_counted(query, ops);
-                    stats.distance_calcs += 1;
-                    ops.cmp += 1;
-                    if d2 < *best_d2 {
-                        *best_d2 = d2;
-                        *best = Some(e.id);
+    ) -> Option<(u64, f64)> {
+        let root = self.root?;
+        let mut cache = self.cache_stats.get();
+        let mut best: Option<u64> = None;
+        let mut best_d2 = f64::INFINITY;
+
+        if let Some(hid) = hint {
+            match self.entry_leaf.get(&hid) {
+                Some(&leaf) => {
+                    // Seed bound and candidate from the retained entry:
+                    // an attained distance is a valid upper bound.
+                    for k in 0..self.count[leaf] as usize {
+                        ops.cmp += 1;
+                        if self.slots[leaf * self.cap + k] == hid {
+                            ops.mem_words += self.dim as u64;
+                            best_d2 =
+                                query.distance_sq_to_slice_counted(self.entry_pt(leaf, k), ops);
+                            stats.distance_calcs += 1;
+                            best = Some(hid);
+                            break;
+                        }
                     }
+                    cache.seed_hits += 1;
+                    bump(Counter::TraceSeedHit);
                 }
-            }
-            NodeKind::Inner(kids) => {
-                let mut order: Vec<(f64, usize)> = kids
-                    .iter()
-                    .map(|&k| {
-                        ops.mem_words += 2 * self.dim as u64;
-                        (self.nodes[k].rect.mindist_sq(query, ops), k)
-                    })
-                    .collect();
-                order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite MINDIST"));
-                for (i, (md, k)) in order.iter().enumerate() {
-                    ops.cmp += 1;
-                    if *md >= *best_d2 {
-                        stats.subtrees_skipped += (order.len() - i) as u64;
-                        break;
-                    }
-                    self.nearest_rec_traced(*k, depth + 1, query, best, best_d2, ops, stats);
+                None => {
+                    cache.seed_misses += 1;
+                    bump(Counter::TraceSeedMiss);
                 }
             }
         }
+
+        let mut frontier = self.frontier.borrow_mut();
+        frontier.clear();
+        heap_push(
+            &mut frontier,
+            Frontier {
+                md: 0.0,
+                node: root as u32,
+                depth: 0,
+            },
+            ops,
+        );
+        while let Some(f) = heap_pop(&mut frontier, ops) {
+            ops.cmp += 1;
+            if f.md >= best_d2 {
+                // The cheapest frontier element already loses: everything
+                // still queued is skippable.
+                stats.subtrees_skipped += frontier.len() as u64 + 1;
+                break;
+            }
+            let node = f.node as usize;
+            if trace {
+                stats.access_trace.push(node);
+            }
+            stats.bump_depth(f.depth as usize);
+            if node < self.top_len {
+                cache.top_hits += 1;
+                bump(Counter::TopBlockHit);
+            } else {
+                cache.top_misses += 1;
+                bump(Counter::TopBlockMiss);
+            }
+            if self.is_leaf[node] {
+                for k in 0..self.count[node] as usize {
+                    ops.mem_words += self.dim as u64;
+                    let d2 = query.distance_sq_to_slice_counted(self.entry_pt(node, k), ops);
+                    stats.distance_calcs += 1;
+                    ops.cmp += 1;
+                    if d2 < best_d2 {
+                        best_d2 = d2;
+                        best = Some(self.slots[node * self.cap + k]);
+                    }
+                }
+            } else {
+                for k in 0..self.count[node] as usize {
+                    let child = self.slots[node * self.cap + k] as usize;
+                    ops.mem_words += 2 * self.dim as u64;
+                    let md =
+                        Rect::mindist_sq_planes(self.lo_of(child), self.hi_of(child), query, ops);
+                    ops.cmp += 1;
+                    if md < best_d2 {
+                        heap_push(
+                            &mut frontier,
+                            Frontier {
+                                md,
+                                node: child as u32,
+                                depth: f.depth + 1,
+                            },
+                            ops,
+                        );
+                    } else {
+                        stats.subtrees_skipped += 1;
+                    }
+                }
+            }
+        }
+        self.cache_stats.set(cache);
+        best.map(|id| (id, best_d2.sqrt()))
+    }
+
+    /// Pre-rewrite reference search: depth-first MINDIST descent with
+    /// children sorted ascending per node — the traversal the recursive
+    /// implementation performed, kept (iteratively, over an explicit
+    /// stack) as the old-vs-new baseline for benches and `planner_bench`.
+    /// Visits the same nodes and computes the same distances as the old
+    /// recursion; exact like the best-first path.
+    pub fn nearest_reference_dfs(
+        &self,
+        query: &Config,
+        ops: &mut OpCount,
+        stats: &mut SearchStats,
+    ) -> Option<(u64, f64)> {
+        assert_eq!(query.dim(), self.dim, "dimension mismatch");
+        let root = self.root?;
+        let _span = moped_obs::span(moped_obs::Stage::MbrDescent);
+        let mut best: Option<u64> = None;
+        let mut best_d2 = f64::INFINITY;
+        let mut stack = self.frontier.borrow_mut();
+        stack.clear();
+        stack.push(Frontier {
+            md: 0.0,
+            node: root as u32,
+            depth: 0,
+        });
+        while let Some(f) = stack.pop() {
+            ops.cmp += 1;
+            if f.md >= best_d2 {
+                stats.subtrees_skipped += 1;
+                continue;
+            }
+            let node = f.node as usize;
+            stats.bump_depth(f.depth as usize);
+            if self.is_leaf[node] {
+                for k in 0..self.count[node] as usize {
+                    ops.mem_words += self.dim as u64;
+                    let d2 = query.distance_sq_to_slice_counted(self.entry_pt(node, k), ops);
+                    stats.distance_calcs += 1;
+                    ops.cmp += 1;
+                    if d2 < best_d2 {
+                        best_d2 = d2;
+                        best = Some(self.slots[node * self.cap + k]);
+                    }
+                }
+            } else {
+                // MINDIST each child, sort ascending, push in reverse so
+                // the nearest child is explored first (LIFO = the old
+                // recursion order). The order buffer lives on the stack.
+                const MAX_FANOUT: usize = 64;
+                let n = self.count[node] as usize;
+                debug_assert!(n <= MAX_FANOUT, "node fanout exceeds stack buffer");
+                let mut order = [(0.0f64, 0u32); MAX_FANOUT];
+                for (k, slot) in order.iter_mut().enumerate().take(n) {
+                    let child = self.slots[node * self.cap + k] as usize;
+                    ops.mem_words += 2 * self.dim as u64;
+                    *slot = (
+                        Rect::mindist_sq_planes(self.lo_of(child), self.hi_of(child), query, ops),
+                        child as u32,
+                    );
+                }
+                order[..n].sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite MINDIST"));
+                ops.cmp += (n.saturating_sub(1)) as u64;
+                for (md, k) in order[..n].iter().rev() {
+                    stack.push(Frontier {
+                        md: *md,
+                        node: *k,
+                        depth: f.depth + 1,
+                    });
+                }
+            }
+        }
+        best.map(|id| (id, best_d2.sqrt()))
     }
 
     /// The depth (root = 0) of node `id` in the current structure, used
     /// by the cache model to classify trace entries. Returns `None` for
     /// an unknown node id.
     pub fn node_depth(&self, id: usize) -> Option<usize> {
-        if id >= self.nodes.len() {
+        if id >= self.node_count() {
             return None;
         }
         let mut d = 0;
         let mut cur = id;
-        while let Some(p) = self.nodes[cur].parent {
-            cur = p;
+        while self.parent[cur] != NO_NODE {
+            cur = self.parent[cur] as usize;
             d += 1;
         }
         Some(d)
-    }
-
-    // Same explicit state threading as nearest_rec_traced, minus tracing.
-    #[allow(clippy::too_many_arguments)]
-    fn nearest_rec(
-        &self,
-        node: usize,
-        depth: usize,
-        query: &Config,
-        best: &mut Option<u64>,
-        best_d2: &mut f64,
-        ops: &mut OpCount,
-        stats: &mut SearchStats,
-    ) {
-        stats.bump_depth(depth);
-        match &self.nodes[node].kind {
-            NodeKind::Leaf(entries) => {
-                for e in entries {
-                    ops.mem_words += self.dim as u64;
-                    let d2 = e.point.distance_sq_counted(query, ops);
-                    stats.distance_calcs += 1;
-                    ops.cmp += 1;
-                    if d2 < *best_d2 {
-                        *best_d2 = d2;
-                        *best = Some(e.id);
-                    }
-                }
-            }
-            NodeKind::Inner(kids) => {
-                // MINDIST each child, sort ascending, explore until the
-                // bound disqualifies the remainder. The order buffer lives
-                // on the stack (node fanout is small by construction) so
-                // the search hot loop never allocates.
-                const MAX_FANOUT: usize = 64;
-                debug_assert!(kids.len() <= MAX_FANOUT, "node fanout exceeds stack buffer");
-                let mut order = [(0.0f64, 0usize); MAX_FANOUT];
-                let n = kids.len().min(MAX_FANOUT);
-                for (slot, &k) in order.iter_mut().zip(kids.iter()) {
-                    ops.mem_words += 2 * self.dim as u64;
-                    *slot = (self.nodes[k].rect.mindist_sq(query, ops), k);
-                }
-                order[..n].sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite MINDIST"));
-                ops.cmp += (n.saturating_sub(1)) as u64;
-                for (i, (md, k)) in order[..n].iter().enumerate() {
-                    ops.cmp += 1;
-                    if *md >= *best_d2 {
-                        stats.subtrees_skipped += (n - i) as u64;
-                        break;
-                    }
-                    self.nearest_rec(*k, depth + 1, query, best, best_d2, ops, stats);
-                }
-            }
-        }
     }
 
     /// Exact range search: all entries within `radius` of `query`,
@@ -585,21 +973,23 @@ impl SiMbrTree {
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
             ops.mem_words += 2 * self.dim as u64;
-            if self.nodes[n].rect.mindist_sq(query, ops) > r2 {
+            if Rect::mindist_sq_planes(self.lo_of(n), self.hi_of(n), query, ops) > r2 {
                 continue;
             }
-            match &self.nodes[n].kind {
-                NodeKind::Leaf(entries) => {
-                    for e in entries {
-                        ops.mem_words += self.dim as u64;
-                        let d2 = e.point.distance_sq_counted(query, ops);
-                        ops.cmp += 1;
-                        if d2 <= r2 {
-                            out.push(*e);
-                        }
+            if self.is_leaf[n] {
+                for k in 0..self.count[n] as usize {
+                    ops.mem_words += self.dim as u64;
+                    let d2 = query.distance_sq_to_slice_counted(self.entry_pt(n, k), ops);
+                    ops.cmp += 1;
+                    if d2 <= r2 {
+                        out.push(Entry {
+                            id: self.slots[n * self.cap + k],
+                            point: self.entry_config(n, k),
+                        });
                     }
                 }
-                NodeKind::Inner(kids) => stack.extend_from_slice(kids),
+            } else {
+                stack.extend(self.kids_of(n).iter().map(|&k| k as usize));
             }
         }
         out
@@ -620,13 +1010,15 @@ impl SiMbrTree {
             .entry_leaf
             .get(&entry_id)
             .unwrap_or_else(|| panic!("entry {entry_id} not present in SI-MBR-Tree"));
-        match &self.nodes[leaf].kind {
-            NodeKind::Leaf(entries) => {
-                ops.mem_words += entries.len() as u64 * (1 + self.dim as u64);
-                entries.clone()
-            }
-            NodeKind::Inner(_) => unreachable!("entry_leaf always maps to leaves"),
-        }
+        debug_assert!(self.is_leaf[leaf], "entry_leaf always maps to leaves");
+        let n = self.count[leaf] as usize;
+        ops.mem_words += n as u64 * (1 + self.dim as u64);
+        (0..n)
+            .map(|k| Entry {
+                id: self.slots[leaf * self.cap + k],
+                point: self.entry_config(leaf, k),
+            })
+            .collect()
     }
 
     /// Linear-scan nearest neighbor over all entries — the reference the
@@ -635,15 +1027,16 @@ impl SiMbrTree {
     pub fn nearest_linear(&self, query: &Config, ops: &mut OpCount) -> Option<(u64, f64)> {
         let mut best = None;
         let mut best_d2 = f64::INFINITY;
-        for node in &self.nodes {
-            if let NodeKind::Leaf(entries) = &node.kind {
-                for e in entries {
-                    let d2 = e.point.distance_sq_counted(query, ops);
-                    ops.cmp += 1;
-                    if d2 < best_d2 {
-                        best_d2 = d2;
-                        best = Some(e.id);
-                    }
+        for n in 0..self.node_count() {
+            if !self.is_leaf[n] {
+                continue;
+            }
+            for k in 0..self.count[n] as usize {
+                let d2 = query.distance_sq_to_slice_counted(self.entry_pt(n, k), ops);
+                ops.cmp += 1;
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                    best = Some(self.slots[n * self.cap + k]);
                 }
             }
         }
@@ -651,53 +1044,57 @@ impl SiMbrTree {
     }
 
     /// Iterates over all entries (arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = &Entry> + '_ {
-        self.nodes.iter().flat_map(|n| match &n.kind {
-            NodeKind::Leaf(e) => e.as_slice(),
-            NodeKind::Inner(_) => &[],
-        })
+    pub fn iter(&self) -> impl Iterator<Item = Entry> + '_ {
+        (0..self.node_count())
+            .filter(|&n| self.is_leaf[n])
+            .flat_map(move |n| {
+                (0..self.count[n] as usize).map(move |k| Entry {
+                    id: self.slots[n * self.cap + k],
+                    point: self.entry_config(n, k),
+                })
+            })
     }
 
     /// Verifies structural invariants (MBR containment, parent links,
-    /// entry-map consistency); used by tests and debug assertions.
+    /// entry-map consistency, pinned-block depth bound); used by tests
+    /// and debug assertions.
     ///
     /// Returns a human-readable violation description, or `None` if sound.
     pub fn check_invariants(&self) -> Option<String> {
         let Some(root) = self.root else {
             return (self.len != 0).then(|| "empty tree with nonzero len".into());
         };
-        if self.nodes[root].parent.is_some() {
+        if self.parent[root] != NO_NODE {
             return Some("root has a parent".into());
         }
         let mut seen_entries = 0usize;
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
-            let node = &self.nodes[n];
-            match &node.kind {
-                NodeKind::Leaf(entries) => {
-                    for e in entries {
-                        seen_entries += 1;
-                        if !node.rect.contains_point(&e.point) {
-                            return Some(format!("leaf rect of node {n} misses entry {}", e.id));
-                        }
-                        if self.entry_leaf.get(&e.id) != Some(&n) {
-                            return Some(format!("entry map stale for {}", e.id));
-                        }
+            let rect = self.node_rect(n);
+            if self.is_leaf[n] {
+                for k in 0..self.count[n] as usize {
+                    seen_entries += 1;
+                    let id = self.slots[n * self.cap + k];
+                    if !rect.contains_point(&self.entry_config(n, k)) {
+                        return Some(format!("leaf rect of node {n} misses entry {id}"));
+                    }
+                    if self.entry_leaf.get(&id) != Some(&n) {
+                        return Some(format!("entry map stale for {id}"));
                     }
                 }
-                NodeKind::Inner(kids) => {
-                    if kids.is_empty() {
-                        return Some(format!("inner node {n} has no children"));
+            } else {
+                if self.count[n] == 0 {
+                    return Some(format!("inner node {n} has no children"));
+                }
+                for &k in self.kids_of(n) {
+                    let k = k as usize;
+                    if self.parent[k] != n as u32 {
+                        return Some(format!("parent link broken at {k}"));
                     }
-                    for &k in kids {
-                        if self.nodes[k].parent != Some(n) {
-                            return Some(format!("parent link broken at {k}"));
-                        }
-                        if !node.rect.contains_rect(&self.nodes[k].rect) {
-                            return Some(format!("MBR of {n} misses child {k}"));
-                        }
-                        stack.push(k);
+                    if !rect.contains_rect(&self.node_rect(k)) {
+                        return Some(format!("MBR of {n} misses child {k}"));
                     }
+                    stack.push(k);
                 }
             }
         }
@@ -707,16 +1104,13 @@ impl SiMbrTree {
                 self.len
             ));
         }
+        for n in 0..self.top_len {
+            if self.node_depth(n).is_none_or(|d| d >= TOP_LEVELS) {
+                return Some(format!("pinned-block node {n} below level {TOP_LEVELS}"));
+            }
+        }
         None
     }
-}
-
-fn points_rect(entries: &[Entry]) -> Rect {
-    entries
-        .iter()
-        .map(|e| Rect::from_point(&e.point))
-        .reduce(|a, b| a.union(&b))
-        .expect("split groups are non-empty")
 }
 
 /// Guttman quadratic split: partitions `rects` indices into two groups.
@@ -989,5 +1383,105 @@ mod tests {
         assert_eq!(a.nodes_visited, 3);
         assert_eq!(a.visits_by_depth, vec![1, 2]);
         assert_eq!(a.distance_calcs, 5);
+    }
+
+    #[test]
+    fn best_first_never_visits_more_nodes_than_reference_dfs() {
+        let (tree, _) = build_grid(300, "conv");
+        let mut ops = OpCount::default();
+        for q in [c2(2.3, 7.7), c2(-3.0, 14.0), c2(9.9, 0.1), c2(5.5, 29.5)] {
+            let mut bf = SearchStats::default();
+            let mut dfs = SearchStats::default();
+            let a = tree.nearest_with_stats(&q, &mut ops, &mut bf);
+            let b = tree.nearest_reference_dfs(&q, &mut ops, &mut dfs);
+            assert_eq!(a.map(|x| x.1.to_bits()), b.map(|x| x.1.to_bits()));
+            assert!(
+                bf.nodes_visited <= dfs.nodes_visited,
+                "best-first is visit-optimal: {} vs {}",
+                bf.nodes_visited,
+                dfs.nodes_visited
+            );
+        }
+    }
+
+    #[test]
+    fn hint_seed_preserves_exactness_for_every_hint() {
+        let (tree, _) = build_grid(120, "conv");
+        let mut ops = OpCount::default();
+        let q = c2(4.3, 6.8);
+        let cold = tree.nearest(&q, &mut ops).unwrap();
+        for hint in 0..120u64 {
+            let mut stats = SearchStats::default();
+            let warm = tree
+                .nearest_with_hint(&q, Some(hint), &mut ops, &mut stats)
+                .unwrap();
+            assert_eq!(warm.1.to_bits(), cold.1.to_bits(), "hint {hint}");
+        }
+        // An unknown hint is a seed miss, never an error.
+        let mut stats = SearchStats::default();
+        let missed = tree
+            .nearest_with_hint(&q, Some(9999), &mut ops, &mut stats)
+            .unwrap();
+        assert_eq!(missed.1.to_bits(), cold.1.to_bits());
+    }
+
+    #[test]
+    fn warm_hint_shrinks_the_search() {
+        let (tree, _) = build_grid(300, "conv");
+        let q = c2(6.4, 22.6);
+        let mut ops = OpCount::default();
+        let mut cold = SearchStats::default();
+        let (winner, _) = tree.nearest_with_stats(&q, &mut ops, &mut cold).unwrap();
+        let mut warm = SearchStats::default();
+        let _ = tree.nearest_with_hint(&q, Some(winner), &mut ops, &mut warm);
+        assert!(
+            warm.nodes_visited + warm.subtrees_skipped
+                <= cold.nodes_visited + cold.subtrees_skipped,
+            "seeding with the true winner must not grow the frontier"
+        );
+        let cs = tree.cache_stats();
+        assert!(cs.seed_hits >= 1);
+    }
+
+    #[test]
+    fn repack_pins_top_levels_in_the_arena_prefix() {
+        let (tree, _) = build_grid(300, "conv");
+        assert!(tree.height() >= 3);
+        let top = tree.top_block_len();
+        assert!(top > 0 && top <= tree.node_count());
+        for n in 0..top {
+            let d = tree.node_depth(n).expect("pinned node exists");
+            assert!(d < TOP_LEVELS, "node {n} at depth {d} inside pinned block");
+        }
+        // The root is the first arena slot after a repack.
+        assert_eq!(tree.node_depth(0), Some(0));
+    }
+
+    #[test]
+    fn cache_stats_account_every_pop() {
+        let (tree, _) = build_grid(200, "conv");
+        let mut ops = OpCount::default();
+        let mut stats = SearchStats::default();
+        for q in [c2(1.0, 1.0), c2(8.0, 15.0), c2(4.4, 9.6)] {
+            let _ = tree.nearest_with_stats(&q, &mut ops, &mut stats);
+        }
+        let cs = tree.cache_stats();
+        assert_eq!(cs.top_hits + cs.top_misses, stats.nodes_visited);
+        assert!(cs.top_hits >= 3, "root pops alone hit the pinned block");
+    }
+
+    #[test]
+    fn traced_search_equals_plain_search() {
+        let (tree, _) = build_grid(250, "lci");
+        let mut ops = OpCount::default();
+        for q in [c2(3.1, 11.9), c2(7.7, 0.3), c2(0.0, 24.0)] {
+            let mut s1 = SearchStats::default();
+            let mut s2 = SearchStats::default();
+            let plain = tree.nearest_with_stats(&q, &mut ops, &mut s1);
+            let traced = tree.nearest_traced(&q, &mut ops, &mut s2);
+            assert_eq!(plain, traced);
+            assert_eq!(s1.nodes_visited, s2.nodes_visited);
+            assert_eq!(s2.access_trace.len() as u64, s2.nodes_visited);
+        }
     }
 }

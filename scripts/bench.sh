@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# Service-layer benchmark: batches through the worker pool at 1/4/8
-# workers, machine-readable output in BENCH_service.json (throughput and
-# latency percentiles per worker count). Record headline numbers in
-# EXPERIMENTS.md when they move.
+# Machine-readable benchmarks. Two binaries, two JSON artifacts:
+#
+#   planner_bench — old-vs-new hot-path engines on full 6-DoF RRT* runs
+#                   (node visits per nearest, memory-touching visits,
+#                   SAT tests per pose, wall clock) → BENCH_planner.json
+#   service_bench — worker-pool throughput and latency percentiles at
+#                   1/4/8 workers → BENCH_service.json
+#
+# Record headline numbers in EXPERIMENTS.md when they move. Extra flags
+# are passed to service_bench only; planner_bench runs its recorded
+# configuration (8 plans x 4000 samples).
 #
 # Usage: scripts/bench.sh [--batch N] [--samples N]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo run --release -q -p moped-bench --bin planner_bench -- \
+    --samples 4000 --plans 8 --out BENCH_planner.json
+
 cargo run --release -q -p moped-bench --bin service_bench -- \
     --out BENCH_service.json "$@"
 
-echo "bench: OK (BENCH_service.json)"
+echo "bench: OK (BENCH_planner.json, BENCH_service.json)"

@@ -23,6 +23,10 @@ cargo run -q -p moped-lint -- --deny warnings
 echo "== cargo test -q -p moped-lint =="
 cargo test -q -p moped-lint
 
+echo "== planner_bench --smoke =="
+cargo run --release -q -p moped-bench --bin planner_bench -- \
+    --smoke --out target/planner_smoke.json
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
