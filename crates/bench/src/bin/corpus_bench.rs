@@ -1,0 +1,156 @@
+//! Machine-readable corpus regression matrix: every planning engine over
+//! every seeded corpus scenario (family × robot × seed), writing one row
+//! per (scenario, engine) pair to a flat JSON report.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p moped-bench --bin corpus_bench -- \
+//!     [--samples 900] [--seed 7] [--out BENCH_corpus.json] [--smoke]
+//! ```
+//!
+//! `--smoke` runs the ≤6-scenario smoke subset at a small budget (the
+//! `scripts/verify.sh` CI step); the full run sweeps the 30-entry corpus
+//! and enforces the acceptance gate: bidirectional RRT-Connect must
+//! solve the tilted narrow-passage family at a success rate at least as
+//! high as MOPED RRT\* under the same sample budget.
+
+use moped_core::PlannerParams;
+use moped_eval::corpus::{family_success_rate, run_matrix, EngineKind, MatrixCell};
+use moped_scenarios::{corpus, smoke_corpus, CorpusEntry, Family};
+
+fn cell_json(c: &MatrixCell) -> String {
+    // Unsolved cells carry an infinite path cost, which JSON cannot
+    // represent — emit null instead.
+    let cost = if c.path_cost.is_finite() {
+        format!("{:.6}", c.path_cost)
+    } else {
+        "null".to_string()
+    };
+    format!(
+        "{{\"scenario\":\"{}\",\"family\":\"{}\",\"robot\":\"{}\",\"scenario_seed\":{},\
+         \"engine\":\"{}\",\"solved\":{},\"path_cost\":{},\"samples\":{},\"nodes\":{},\
+         \"total_macs\":{},\"wall_ms\":{:.3}}}",
+        c.scenario_id,
+        c.family,
+        c.robot,
+        c.scenario_seed,
+        c.engine.name(),
+        c.solved,
+        cost,
+        c.samples,
+        c.nodes,
+        c.total_macs,
+        c.wall_ms,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut samples = 900usize;
+    let mut seed = 7u64;
+    let mut out = "BENCH_corpus.json".to_string();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--samples" => samples = it.next().and_then(|v| v.parse().ok()).unwrap_or(samples),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--out" => out = it.next().cloned().unwrap_or(out),
+            "--smoke" => smoke = true,
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    let entries: Vec<CorpusEntry> = if smoke {
+        samples = samples.min(250);
+        smoke_corpus()
+    } else {
+        corpus()
+    };
+
+    let params = PlannerParams {
+        max_samples: samples,
+        seed,
+        ..PlannerParams::default()
+    };
+    println!(
+        "corpus bench — {} scenarios x {} engines, {samples} samples, planner seed {seed}",
+        entries.len(),
+        EngineKind::ALL.len()
+    );
+    let cells = run_matrix(&entries, &EngineKind::ALL, &params);
+
+    // Family × engine success summary.
+    println!(
+        "{:>16} {:>20} {:>8} {:>10}",
+        "family", "engine", "solved", "rate"
+    );
+    let mut summary = Vec::new();
+    for family in Family::ALL {
+        for engine in EngineKind::ALL {
+            let rows: Vec<&MatrixCell> = cells
+                .iter()
+                .filter(|c| c.family == family.name() && c.engine == engine)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let solved = rows.iter().filter(|c| c.solved).count();
+            let rate = solved as f64 / rows.len() as f64;
+            println!(
+                "{:>16} {:>20} {:>5}/{:<2} {:>10.2}",
+                family.name(),
+                engine.name(),
+                solved,
+                rows.len(),
+                rate
+            );
+            summary.push(format!(
+                "{{\"family\":\"{}\",\"engine\":\"{}\",\"solved\":{},\"runs\":{},\
+                 \"success_rate\":{:.4}}}",
+                family.name(),
+                engine.name(),
+                solved,
+                rows.len(),
+                rate
+            ));
+        }
+    }
+
+    // Config stamp: everything needed to reproduce the run bit-for-bit.
+    let ids = entries
+        .iter()
+        .map(|e| format!("\"{}\"", e.id()))
+        .collect::<Vec<_>>()
+        .join(",");
+    let body = cells.iter().map(cell_json).collect::<Vec<_>>().join(",");
+    let json = format!(
+        "{{\"bench\":\"corpus_matrix\",\"smoke\":{smoke},\
+         \"config\":{{\"planner_seed\":{seed},\"samples_per_plan\":{samples},\
+         \"scenario_count\":{},\"scenario_ids\":[{ids}]}},\
+         \"summary\":[{}],\"rows\":[{body}]}}",
+        entries.len(),
+        summary.join(","),
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Acceptance gate (full runs only): feasibility-first RRT-Connect
+    // must match or beat RRT* on the narrow-passage family.
+    if !smoke {
+        let star = family_success_rate(&cells, "narrow-passage", EngineKind::MopedRrtStar);
+        let connect = family_success_rate(&cells, "narrow-passage", EngineKind::RrtConnect);
+        println!("narrow-passage: rrt-connect {connect:.2} vs rrt-star {star:.2}");
+        if connect < star {
+            eprintln!(
+                "acceptance gate: rrt-connect {connect:.2} < rrt-star {star:.2} on narrow-passage"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -274,11 +274,19 @@ fn main() {
          mac_reduction {mac_reduction:.2}x"
     );
 
-    // Flat, dependency-free JSON (same style as service_bench).
+    // Flat, dependency-free JSON (same style as service_bench). The
+    // config stamp records every seed the run consumed: plan `i` uses
+    // scenario seed `100 + i` and planner seed `i`.
+    let scenario_ids = (0..plans as u64)
+        .map(|i| format!("\"drone_3d/random{obstacles}/s{}\"", 100 + i))
+        .collect::<Vec<_>>()
+        .join(",");
     let body = rows.iter().map(row_json).collect::<Vec<_>>().join(",");
     let json = format!(
         "{{\"bench\":\"planner_hot_path\",\"robot\":\"drone_3d\",\"dim\":{DIM},\
          \"obstacles\":{obstacles},\"samples_per_plan\":{samples},\"plans\":{plans},\
+         \"config\":{{\"scenario_seed_base\":100,\"planner_seed_base\":0,\
+         \"scenario_ids\":[{scenario_ids}]}},\
          \"rows\":[{body}],\"visit_reduction\":{visit_reduction:.3},\
          \"mem_visit_reduction\":{mem_visit_reduction:.3},\
          \"sat_reduction\":{sat_reduction:.3},\"wall_speedup\":{wall_speedup:.3},\

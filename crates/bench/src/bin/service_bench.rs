@@ -131,8 +131,17 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",");
+    // Config stamp: request `i` plans environment `i % catalog` with
+    // planner seed `i`, so the whole batch is reproducible from this.
+    let stamp_catalog = EnvironmentCatalog::standard(&Robot::mobile_2d());
+    let env_names = stamp_catalog
+        .ids()
+        .filter_map(|id| stamp_catalog.get(id).map(|s| format!("\"{}\"", s.name)))
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
         "{{\"bench\":\"service_batch\",\"batch\":{batch},\"samples_per_request\":{samples},\
+         \"config\":{{\"planner_seed_base\":0,\"environments\":[{env_names}]}},\
          \"rows\":[{body}]}}"
     );
     match std::fs::write(&out, &json) {

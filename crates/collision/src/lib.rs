@@ -250,12 +250,13 @@ pub enum NarrowMode {
 /// extracted once at construction, so the narrow phase streams plain
 /// `f64` lanes instead of re-deriving axes per test. In
 /// [`NarrowMode::Batched`] + [`SecondStage::ObbExact`] a *last-hit cache*
-/// remembers the obstacle that most recently caused a collision and tests
-/// it first on the next pose — colliding poses cluster on the same
-/// obstacle, so a hit skips the broad phase entirely. The cache is
-/// verdict-preserving: it only short-circuits on an exact SAT hit, which
-/// the full pipeline would have found too (an OBB overlap implies the
-/// obstacle survives its own AABB filter).
+/// remembers the obstacle that most recently caused a collision and, when
+/// that obstacle survives the broad phase again, moves it to the front of
+/// the survivor list — colliding poses cluster on the same obstacle, so
+/// the batched SAT terminates on its first chunk. The reorder is free (a
+/// swap) and verdict-preserving: any-hit semantics do not depend on
+/// survivor order. See DESIGN §10 for why the earlier probe-before-
+/// broad-phase design was a net loss on planner workloads.
 #[derive(Clone, Debug)]
 pub struct TwoStageChecker {
     rtree: RTree,
@@ -343,9 +344,11 @@ impl TwoStageChecker {
         self.narrow
     }
 
-    /// Last-hit cache `(hits, misses)` since construction. Hits skipped a
-    /// broad phase; each miss cost one extra SAT per body at the pose
-    /// where the colliding obstacle changed.
+    /// Last-hit cache `(hits, misses)` since construction. A hit is a
+    /// colliding pose resolved by the front-loaded cached obstacle; a
+    /// miss is a cached entry that failed to recur (the pose was free or
+    /// a different obstacle collided). Misses cost nothing — the cache
+    /// only reorders work the pipeline was doing anyway.
     pub fn narrow_cache_stats(&self) -> (u64, u64) {
         (self.cache_hits.get(), self.cache_misses.get())
     }
@@ -361,33 +364,6 @@ impl CollisionChecker for TwoStageChecker {
         let _span = moped_obs::span(moped_obs::Stage::Collision);
         let scratch = &mut *self.scratch.borrow_mut();
         robot.body_obbs_into(q, &mut scratch.bodies);
-
-        // Last-hit cache: re-test the obstacle that collided most
-        // recently before paying for any tree traversal. Only an exact
-        // SAT hit short-circuits, so verdicts are unchanged.
-        if self.cache_enabled() {
-            if let Some(oid) = self.last_hit.get() {
-                let obs = self.soa.get(oid);
-                let mut hit = false;
-                for body in &scratch.bodies {
-                    ledger.second_stage.mem_words += obs.encoded_words();
-                    if sat::obb_obb(obs, body, &mut ledger.second_stage) {
-                        hit = true;
-                        break;
-                    }
-                }
-                if hit {
-                    self.cache_hits.set(self.cache_hits.get() + 1);
-                    moped_obs::counters::bump(moped_obs::Counter::LeafCacheHit);
-                    return false;
-                }
-                // Stale entry: drop it so the miss penalty is paid once
-                // per hit→miss transition, not once per pose.
-                self.last_hit.set(None);
-                self.cache_misses.set(self.cache_misses.get() + 1);
-                moped_obs::counters::bump(moped_obs::Counter::LeafCacheMiss);
-            }
-        }
 
         for body in &scratch.bodies {
             // Stage 1: hierarchical AABB filter (spanned as broad-phase
@@ -409,6 +385,19 @@ impl CollisionChecker for TwoStageChecker {
                     let _narrow = moped_obs::span(moped_obs::Stage::NarrowPhase);
                     match self.narrow {
                         NarrowMode::Batched => {
+                            // Cost-free last-hit reuse: front-load the
+                            // cached obstacle so a recurring collision
+                            // resolves in the first SAT chunk. A swap
+                            // never changes the any-hit verdict.
+                            if self.cache_enabled() {
+                                if let Some(prev) = self.last_hit.get() {
+                                    if let Some(pos) =
+                                        scratch.survivors.iter().position(|&s| s == prev)
+                                    {
+                                        scratch.survivors.swap(0, pos);
+                                    }
+                                }
+                            }
                             let pre = sat::prepare(body);
                             for &oid in &scratch.survivors {
                                 ledger.second_stage.mem_words += self.soa.get(oid).encoded_words();
@@ -420,6 +409,21 @@ impl CollisionChecker for TwoStageChecker {
                                 &mut ledger.second_stage,
                             ) {
                                 if self.cache_enabled() {
+                                    match self.last_hit.get() {
+                                        Some(prev) if prev == oid => {
+                                            self.cache_hits.set(self.cache_hits.get() + 1);
+                                            moped_obs::counters::bump(
+                                                moped_obs::Counter::LeafCacheHit,
+                                            );
+                                        }
+                                        Some(_) => {
+                                            self.cache_misses.set(self.cache_misses.get() + 1);
+                                            moped_obs::counters::bump(
+                                                moped_obs::Counter::LeafCacheMiss,
+                                            );
+                                        }
+                                        None => {}
+                                    }
                                     self.last_hit.set(Some(oid));
                                 }
                                 return false;
@@ -437,6 +441,12 @@ impl CollisionChecker for TwoStageChecker {
                     }
                 }
             }
+        }
+        // Free pose: a lingering cache entry failed to recur. Retire it
+        // (and count the miss) so the stats reflect real reuse.
+        if self.cache_enabled() && self.last_hit.take().is_some() {
+            self.cache_misses.set(self.cache_misses.get() + 1);
+            moped_obs::counters::bump(moped_obs::Counter::LeafCacheMiss);
         }
         true
     }

@@ -41,6 +41,14 @@ pub trait NeighborIndex {
 
     /// Short backend name for reports.
     fn name(&self) -> &'static str;
+
+    /// An empty index with the same configuration (dimension, node
+    /// capacity, search/insert switches) as `self`. The multi-tree
+    /// engines use this to give each exploration tree its own index
+    /// without the caller having to re-specify backend parameters.
+    fn fresh(&self) -> Self
+    where
+        Self: Sized;
 }
 
 /// Brute-force index: the baseline RRT\* implementation's linear scans.
@@ -99,6 +107,10 @@ impl NeighborIndex for LinearIndex {
 
     fn name(&self) -> &'static str {
         "linear"
+    }
+
+    fn fresh(&self) -> Self {
+        LinearIndex::new()
     }
 }
 
@@ -238,6 +250,18 @@ impl NeighborIndex for SimbrIndex {
             (true, true) => "si-mbr+sias+lci",
         }
     }
+
+    fn fresh(&self) -> Self {
+        SimbrIndex {
+            reference_search: self.reference_search,
+            ..SimbrIndex::new(
+                self.tree.dim(),
+                self.tree.max_entries(),
+                self.approx_search,
+                self.low_cost_insert,
+            )
+        }
+    }
 }
 
 /// KD-tree index (the Fig 19 neighbor-search baseline).
@@ -285,6 +309,10 @@ impl NeighborIndex for KdIndex {
 
     fn name(&self) -> &'static str {
         "kd-tree"
+    }
+
+    fn fresh(&self) -> Self {
+        KdIndex::new(self.tree.dim())
     }
 }
 
@@ -430,6 +458,26 @@ mod tests {
         assert_eq!(SimbrIndex::moped(3).name(), "si-mbr+sias+lci");
         assert_eq!(SimbrIndex::new(3, 4, false, false).name(), "si-mbr");
         assert_eq!(KdIndex::new(3).name(), "kd-tree");
+    }
+
+    #[test]
+    fn fresh_preserves_configuration_and_starts_empty() {
+        let pts = seeded_points(40, 4);
+        let mut simbr = SimbrIndex::new(4, 8, true, false);
+        let mut reference = SimbrIndex::reference(4);
+        let mut kd = KdIndex::new(4);
+        fill(&mut simbr, &pts);
+        fill(&mut reference, &pts);
+        fill(&mut kd, &pts);
+        let f = simbr.fresh();
+        assert!(f.is_empty());
+        assert_eq!(f.name(), simbr.name());
+        assert_eq!(f.tree().dim(), 4);
+        assert_eq!(f.tree().max_entries(), 8);
+        assert!(reference.fresh().reference_search);
+        assert!(kd.fresh().is_empty());
+        assert_eq!(kd.fresh().tree().dim(), 4);
+        assert!(LinearIndex::new().fresh().is_empty());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 #![deny(missing_docs)]
 
+mod connect;
 pub mod extensions;
 mod index;
 mod planner;
@@ -41,5 +42,5 @@ pub mod smooth;
 mod variant;
 
 pub use index::{KdIndex, LinearIndex, NeighborIndex, SimbrIndex};
-pub use planner::{PlanResult, PlanStats, PlannerParams, RoundTrace, RrtStar};
+pub use planner::{Engine, PlanResult, PlanStats, PlannerParams, RoundTrace, RrtStar};
 pub use variant::{plan_variant, plan_variant_with_stop, variant_components, Variant};

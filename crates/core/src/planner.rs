@@ -9,6 +9,45 @@ use rand::{Rng, SeedableRng};
 
 use crate::NeighborIndex;
 
+/// Search strategy executed behind the [`RrtStar`] facade.
+///
+/// All engines share the node arena, neighbor-index backend, TSPS
+/// collision stack, journal recording/replay, and the stop-hook
+/// contract; they differ only in how the exploration structure grows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Single-tree RRT\* (sample → nearest → steer → refine → rewire);
+    /// asymptotically optimal, the paper's evaluation engine.
+    #[default]
+    RrtStar,
+    /// Bidirectional RRT-Connect: one tree from the start, one from the
+    /// goal, alternating in deterministic swap order, with a greedy
+    /// multi-step connect toward every new node. Feasibility-first — it
+    /// returns the first path found and performs no rewiring.
+    RrtConnect,
+    /// RRT-Connect plus local trees seeded in narrow free-space regions
+    /// (detected by axis probes at steering-step distance); trees merge
+    /// through zero-length bridge links when a connect reaches another
+    /// component.
+    MultiTree,
+}
+
+impl Engine {
+    /// Short engine name for reports and bench rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::RrtStar => "rrt-star",
+            Engine::RrtConnect => "rrt-connect",
+            Engine::MultiTree => "multi-tree",
+        }
+    }
+
+    /// Every engine, in report order.
+    pub fn all() -> [Engine; 3] {
+        [Engine::RrtStar, Engine::RrtConnect, Engine::MultiTree]
+    }
+}
+
 /// Planner tuning knobs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PlannerParams {
@@ -134,11 +173,11 @@ impl PlanResult {
 }
 
 #[derive(Clone, Debug)]
-struct TreeNode {
-    q: Config,
-    parent: Option<usize>,
-    children: Vec<usize>,
-    cost: f64,
+pub(crate) struct TreeNode {
+    pub(crate) q: Config,
+    pub(crate) parent: Option<usize>,
+    pub(crate) children: Vec<usize>,
+    pub(crate) cost: f64,
 }
 
 /// An RRT\* planner instance bound to a scenario.
@@ -146,31 +185,32 @@ struct TreeNode {
 /// Generic over the neighbor index; the collision checker is taken as a
 /// trait object so ablations can swap it freely.
 pub struct RrtStar<'a, N: NeighborIndex> {
-    scenario: &'a Scenario,
-    checker: &'a dyn CollisionChecker,
-    index: N,
-    params: PlannerParams,
-    nodes: Vec<TreeNode>,
-    steps: InterpolationSteps,
-    step: f64,
+    pub(crate) scenario: &'a Scenario,
+    pub(crate) checker: &'a dyn CollisionChecker,
+    pub(crate) index: N,
+    pub(crate) params: PlannerParams,
+    pub(crate) nodes: Vec<TreeNode>,
+    pub(crate) steps: InterpolationSteps,
+    pub(crate) step: f64,
+    engine: Engine,
     rewire_enabled: bool,
-    stop_hook: Option<StopHook<'a>>,
-    journal_enabled: bool,
-    journal: Option<Journal>,
-    replay: Option<Replay>,
+    pub(crate) stop_hook: Option<StopHook<'a>>,
+    pub(crate) journal_enabled: bool,
+    pub(crate) journal: Option<Journal>,
+    pub(crate) replay: Option<Replay>,
 }
 
 /// Pre-decoded sample stream consumed instead of the RNG when replaying
 /// a journal (goal-bias draws are already baked into the stream).
-struct Replay {
-    samples: Vec<Config>,
-    cursor: usize,
+pub(crate) struct Replay {
+    pub(crate) samples: Vec<Config>,
+    pub(crate) cursor: usize,
 }
 
 /// A cooperative-stop predicate polled every `.0` sampling rounds; when
 /// it returns `true` the planner abandons the remaining budget and
 /// returns its best-so-far anytime result.
-type StopHook<'a> = (usize, Box<dyn Fn() -> bool + 'a>);
+pub(crate) type StopHook<'a> = (usize, Box<dyn Fn() -> bool + 'a>);
 
 impl<'a, N: NeighborIndex> RrtStar<'a, N> {
     /// Creates a planner over `scenario` with the given backends.
@@ -194,12 +234,27 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
             nodes: Vec::new(),
             steps,
             step,
+            engine: Engine::RrtStar,
             rewire_enabled: true,
             stop_hook: None,
             journal_enabled: false,
             journal: None,
             replay: None,
         }
+    }
+
+    /// Selects the search engine executed by [`plan`]. Defaults to
+    /// single-tree RRT\*; see [`Engine`] for the alternatives.
+    ///
+    /// [`plan`]: RrtStar::plan
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine this planner will run.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Installs a cooperative stop hook polled every `every` sampling
@@ -264,8 +319,17 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
     }
 
     /// Runs the planner to its sampling budget and extracts the best
-    /// path found.
+    /// path found (for the connect engines: the first path found).
     pub fn plan(&mut self) -> PlanResult {
+        match self.engine {
+            Engine::RrtStar => self.plan_rrt_star(),
+            Engine::RrtConnect => crate::connect::plan_connect(self, false),
+            Engine::MultiTree => crate::connect::plan_connect(self, true),
+        }
+    }
+
+    /// The single-tree RRT\* engine.
+    fn plan_rrt_star(&mut self) -> PlanResult {
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut stats = PlanStats::default();
         // Shared checkers may carry warm caches from a previous plan;
@@ -542,7 +606,7 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
     }
 
     /// Total collision-ledger MACs (both stages).
-    fn ledger_macs(&self, stats: &PlanStats) -> u64 {
+    pub(crate) fn ledger_macs(&self, stats: &PlanStats) -> u64 {
         stats.collision.total_ops().mac_equiv()
     }
 
@@ -575,9 +639,11 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
         self.nodes.iter().map(|n| (n.q, n.parent, n.cost)).collect()
     }
 
-    /// Verifies exploration-tree invariants: single root, acyclic parent
-    /// chains, consistent child links, and costs equal to the sum of edge
-    /// lengths along the parent chain.
+    /// Verifies exploration-tree invariants: acyclic parent chains,
+    /// consistent child links, and costs equal to the sum of edge lengths
+    /// along the parent chain. The RRT\* engine additionally requires a
+    /// single root (node 0); the connect engines grow a forest, so any
+    /// parentless node is a valid root provided its cost is zero.
     ///
     /// Returns a violation description or `None` when sound.
     pub fn check_tree_invariants(&self) -> Option<String> {
@@ -600,7 +666,12 @@ impl<'a, N: NeighborIndex> RrtStar<'a, N> {
                     ));
                 }
             } else if i != 0 {
-                return Some(format!("non-root {i} has no parent"));
+                if self.engine == Engine::RrtStar {
+                    return Some(format!("non-root {i} has no parent"));
+                }
+                if n.cost != 0.0 {
+                    return Some(format!("forest root {i} has nonzero cost {}", n.cost));
+                }
             }
             // Walk to root, guarding against cycles.
             let mut seen = 0usize;

@@ -1,0 +1,220 @@
+//! Corpus regression matrix: engine × scenario family × robot.
+//!
+//! [`run_matrix`] drives every engine over every seeded corpus scenario
+//! and returns one [`MatrixCell`] per (scenario, engine) pair — success,
+//! path cost, wall time, and operation counts. The bench harness
+//! serializes the cells into `BENCH_corpus.json`; tests and CI gates
+//! read them directly.
+
+use std::time::Instant;
+
+use moped_collision::{CollisionChecker, TwoStageChecker};
+use moped_core::{plan_variant, Engine, PlanResult, PlannerParams, RrtStar, SimbrIndex, Variant};
+use moped_env::Scenario;
+use moped_scenarios::CorpusEntry;
+
+/// A planning engine column in the regression matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Baseline RRT\* on the reference component stack (naive collision
+    /// checking, linear neighbor scan) — the paper's CPU reference.
+    ReferenceRrtStar,
+    /// RRT\* on the full MOPED stack (TSPS + SI-MBR + SIAS + LCI).
+    MopedRrtStar,
+    /// Bidirectional RRT-Connect on the MOPED stack.
+    RrtConnect,
+    /// Multi-tree guided RRT-Connect on the MOPED stack.
+    MultiTree,
+}
+
+impl EngineKind {
+    /// Every engine column, in report order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::ReferenceRrtStar,
+        EngineKind::MopedRrtStar,
+        EngineKind::RrtConnect,
+        EngineKind::MultiTree,
+    ];
+
+    /// Stable identifier used in bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::ReferenceRrtStar => "reference-rrt-star",
+            EngineKind::MopedRrtStar => "moped-rrt-star",
+            EngineKind::RrtConnect => "moped-rrt-connect",
+            EngineKind::MultiTree => "moped-multi-tree",
+        }
+    }
+}
+
+/// One (scenario, engine) cell of the regression matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Corpus id, e.g. `narrow-passage/drone_3d/s1`.
+    pub scenario_id: String,
+    /// Family name (first id component).
+    pub family: &'static str,
+    /// Robot slug (second id component).
+    pub robot: &'static str,
+    /// Generation seed of the scenario.
+    pub scenario_seed: u64,
+    /// Engine that produced this row.
+    pub engine: EngineKind,
+    /// Whether a path was found within the sample budget.
+    pub solved: bool,
+    /// Path cost (0 when unsolved).
+    pub path_cost: f64,
+    /// Samples drawn.
+    pub samples: usize,
+    /// Tree nodes at exit.
+    pub nodes: usize,
+    /// Total MAC-equivalent operations.
+    pub total_macs: u64,
+    /// Wall-clock time of the planning call, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Plans one scenario with one engine column.
+///
+/// The reference column goes through [`plan_variant`] with
+/// [`Variant::V0Baseline`]; the MOPED columns run the V4 component stack
+/// with the requested [`Engine`].
+pub fn plan_engine(scenario: &Scenario, engine: EngineKind, params: &PlannerParams) -> PlanResult {
+    match engine {
+        EngineKind::ReferenceRrtStar => plan_variant(scenario, Variant::V0Baseline, params),
+        EngineKind::MopedRrtStar => plan_variant(scenario, Variant::V4Lci, params),
+        EngineKind::RrtConnect | EngineKind::MultiTree => {
+            let checker: Box<dyn CollisionChecker> =
+                Box::new(TwoStageChecker::moped(scenario.obstacles.clone()));
+            let index = SimbrIndex::new(scenario.robot.dof(), 6, true, true);
+            let core_engine = if engine == EngineKind::RrtConnect {
+                Engine::RrtConnect
+            } else {
+                Engine::MultiTree
+            };
+            let result = RrtStar::new(scenario, checker.as_ref(), index, params.clone())
+                .with_engine(core_engine)
+                .plan();
+            result
+        }
+    }
+}
+
+/// Runs every engine over every corpus entry; one cell per pair.
+///
+/// Wall time is measured here (eval is outside the determinism contract);
+/// everything else in the cell is bit-deterministic in
+/// `(entry, engine, params)`.
+pub fn run_matrix(
+    entries: &[CorpusEntry],
+    engines: &[EngineKind],
+    params: &PlannerParams,
+) -> Vec<MatrixCell> {
+    let mut cells = Vec::with_capacity(entries.len() * engines.len());
+    for entry in entries {
+        let scenario = entry.build();
+        for &engine in engines {
+            let t0 = Instant::now();
+            let r = plan_engine(&scenario, engine, params);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            cells.push(MatrixCell {
+                scenario_id: entry.id(),
+                family: entry.family.name(),
+                robot: moped_scenarios::robot_slug(entry.robot),
+                scenario_seed: entry.seed,
+                engine,
+                solved: r.solved(),
+                path_cost: r.path_cost,
+                samples: r.stats.samples,
+                nodes: r.stats.nodes,
+                total_macs: r.stats.total_ops().mac_equiv(),
+                wall_ms,
+            });
+        }
+    }
+    cells
+}
+
+/// Success rate of one engine restricted to one family (0 when the
+/// family/engine pair has no cells).
+pub fn family_success_rate(cells: &[MatrixCell], family: &str, engine: EngineKind) -> f64 {
+    let rows: Vec<&MatrixCell> = cells
+        .iter()
+        .filter(|c| c.family == family && c.engine == engine)
+        .collect();
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().filter(|c| c.solved).count() as f64 / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moped_robot::RobotModel;
+    use moped_scenarios::Family;
+
+    fn quick_params() -> PlannerParams {
+        PlannerParams {
+            max_samples: 250,
+            seed: 11,
+            ..PlannerParams::default()
+        }
+    }
+
+    #[test]
+    fn matrix_covers_every_pair() {
+        let entries = vec![
+            CorpusEntry::new(Family::Clutter, RobotModel::Mobile2d, 1),
+            CorpusEntry::new(Family::Shelf, RobotModel::Mobile2d, 1),
+        ];
+        let cells = run_matrix(&entries, &EngineKind::ALL, &quick_params());
+        assert_eq!(cells.len(), entries.len() * EngineKind::ALL.len());
+        for engine in EngineKind::ALL {
+            assert_eq!(cells.iter().filter(|c| c.engine == engine).count(), 2);
+        }
+        for c in &cells {
+            assert!(c.samples > 0 && c.samples <= 250, "{}", c.scenario_id);
+            assert!(c.total_macs > 0, "{}", c.scenario_id);
+            assert!(c.wall_ms >= 0.0);
+            assert!(!c.solved || c.path_cost > 0.0, "{}", c.scenario_id);
+        }
+    }
+
+    #[test]
+    fn matrix_cells_are_deterministic_modulo_wall_time() {
+        let entries = vec![CorpusEntry::new(Family::Maze, RobotModel::Mobile2d, 2)];
+        let a = run_matrix(&entries, &EngineKind::ALL, &quick_params());
+        let b = run_matrix(&entries, &EngineKind::ALL, &quick_params());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.solved, y.solved);
+            assert_eq!(x.path_cost.to_bits(), y.path_cost.to_bits());
+            assert_eq!(x.samples, y.samples);
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.total_macs, y.total_macs);
+        }
+    }
+
+    #[test]
+    fn family_success_rate_handles_missing_pairs() {
+        assert_eq!(
+            family_success_rate(&[], "maze", EngineKind::MopedRrtStar),
+            0.0
+        );
+    }
+
+    #[test]
+    fn connect_engines_match_rrt_star_goal_semantics() {
+        // Solved cells must carry the exact start→goal endpoints
+        // regardless of engine.
+        let entry = CorpusEntry::new(Family::Clutter, RobotModel::Drone3d, 1);
+        let scenario = entry.build();
+        for engine in EngineKind::ALL {
+            let r = plan_engine(&scenario, engine, &quick_params());
+            if let Some(path) = &r.path {
+                assert_eq!(path[0], scenario.start, "{}", engine.name());
+                assert_eq!(*path.last().unwrap(), scenario.goal, "{}", engine.name());
+            }
+        }
+    }
+}

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod clearance;
+pub mod corpus;
 
 use moped_core::{plan_variant, PlanResult, PlannerParams, Variant};
 use moped_env::{Scenario, ScenarioParams};

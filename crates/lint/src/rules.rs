@@ -25,6 +25,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "collision",
     "hw",
     "env",
+    "scenarios",
 ];
 
 /// Static description of one rule.

@@ -86,6 +86,16 @@ pub enum JournalEvent {
         /// Total start-to-goal cost at that moment.
         total_cost: f64,
     },
+    /// Two exploration trees were bridged: node `from` (in the extending
+    /// tree) met node `to` (in the connected tree). Recorded by the
+    /// bidirectional and multi-tree engines; the single-tree RRT\* engine
+    /// never emits it.
+    Link {
+        /// Bridge node in the tree that was being extended.
+        from: u64,
+        /// Bridge node in the tree that was connected to.
+        to: u64,
+    },
 }
 
 /// A planning run's event journal.
@@ -180,6 +190,19 @@ impl Journal {
         self.events.push(JournalEvent::Goal { node, total_cost });
     }
 
+    /// Records a tree-to-tree bridge (multi-tree / RRT-Connect engines).
+    pub fn record_link(&mut self, from: u64, to: u64) {
+        self.events.push(JournalEvent::Link { from, to });
+    }
+
+    /// Number of recorded tree bridges.
+    pub fn links(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, JournalEvent::Link { .. }))
+            .count()
+    }
+
     /// Serializes to the line-oriented wire format (see module docs).
     pub fn serialize(&self) -> String {
         let mut out = String::new();
@@ -210,6 +233,9 @@ impl Journal {
                 }
                 JournalEvent::Goal { node, total_cost } => {
                     let _ = writeln!(out, "g {node} {}", f64_hex(*total_cost));
+                }
+                JournalEvent::Link { from, to } => {
+                    let _ = writeln!(out, "l {from} {to}");
                 }
             }
         }
@@ -279,6 +305,10 @@ impl Journal {
                     node: parse_u64(&fields, 0, lineno)?,
                     total_cost: hex_f64(field(&fields, 1, lineno)?, lineno)?,
                 }),
+                "l" => journal.events.push(JournalEvent::Link {
+                    from: parse_u64(&fields, 0, lineno)?,
+                    to: parse_u64(&fields, 1, lineno)?,
+                }),
                 "end" => saw_end = true,
                 other => return Err(format!("line {lineno}: unknown tag {other:?}")),
             }
@@ -327,6 +357,7 @@ mod tests {
         j.record_sample(&[4.0, 4.0, 4.0]);
         j.record_reject(RejectReason::Degenerate);
         j.record_rewire(1, 2, 2.5);
+        j.record_link(2, 1);
         j.record_goal(2, 9.125);
         j
     }
@@ -351,6 +382,7 @@ mod tests {
         let j = sample_journal();
         assert_eq!(j.rounds(), 3);
         assert_eq!(j.accepts(), 1);
+        assert_eq!(j.links(), 1);
         assert_eq!(j.sample_rows().count(), 3);
     }
 

@@ -11,6 +11,11 @@
 //!   in an [`EnvironmentCatalog`]; its scenario and bulk-loaded obstacle
 //!   R-tree live behind an `Arc` shared by every worker, so admission is
 //!   O(1) and no obstacle field is ever re-sorted per request.
+//! * **Epoch-versioned hot swap** — a slot's snapshot can be replaced
+//!   while the service runs ([`PlanService::swap_env`]); each swap bumps
+//!   the slot's epoch, new admissions see the replacement, in-flight
+//!   requests keep the immutable snapshot they were admitted with, and
+//!   every [`PlanResponse`] records the epoch it planned against.
 //! * **Determinism under concurrency** — planning state is confined to
 //!   the worker; a request's result is a pure function of its
 //!   `(environment, params, variant)` triple, byte-identical to a serial
@@ -69,7 +74,7 @@ use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use moped_core::{PlanResult, PlannerParams, Variant};
@@ -92,6 +97,12 @@ const SNAPSHOT_RTREE_FANOUT: usize = 4;
 pub struct EnvSnapshot {
     /// Catalog name of this environment.
     pub name: String,
+    /// Version of this environment slot: 0 at registration, bumped by
+    /// every [`EnvironmentCatalog::swap`]. In-flight requests keep the
+    /// snapshot (`Arc`) they were admitted with; the epoch in their
+    /// [`PlanResponse`] records which version they actually planned
+    /// against.
+    pub epoch: u64,
     /// The planning scenario (robot, obstacles, default start/goal).
     pub scenario: Scenario,
     /// STR-bulk-loaded R-tree over the scenario's obstacles.
@@ -102,13 +113,20 @@ pub struct EnvSnapshot {
 }
 
 impl EnvSnapshot {
-    /// Builds a snapshot, paying the R-tree bulk load and the SoA
-    /// obstacle extraction once.
+    /// Builds a snapshot at epoch 0, paying the R-tree bulk load and the
+    /// SoA obstacle extraction once.
     pub fn new(name: impl Into<String>, scenario: Scenario) -> Self {
+        EnvSnapshot::at_epoch(name, scenario, 0)
+    }
+
+    /// Builds a snapshot carrying an explicit epoch (used by
+    /// [`EnvironmentCatalog::swap`] to version replacements).
+    pub fn at_epoch(name: impl Into<String>, scenario: Scenario, epoch: u64) -> Self {
         let rtree = RTree::build(&scenario.obstacles, SNAPSHOT_RTREE_FANOUT);
         let soa = scenario.prepared_obstacles();
         EnvSnapshot {
             name: name.into(),
+            epoch,
             scenario,
             rtree,
             soa,
@@ -129,11 +147,23 @@ impl EnvId {
 
 /// The set of environments a service instance can plan in.
 ///
-/// Registration happens before the service starts; afterwards the catalog
-/// is immutable and shared (`Arc`) with every worker.
+/// The slot *list* is fixed once the service starts, but each slot's
+/// snapshot can be hot-swapped ([`EnvironmentCatalog::swap`]) while the
+/// service runs: lookups hand out owned `Arc`s, so in-flight requests
+/// keep planning against the snapshot they were admitted with while new
+/// admissions see the replacement. Every swap bumps the slot's epoch.
 #[derive(Debug, Default)]
 pub struct EnvironmentCatalog {
-    envs: Vec<Arc<EnvSnapshot>>,
+    envs: Vec<RwLock<Arc<EnvSnapshot>>>,
+}
+
+/// Reads a catalog slot, recovering the (immutable, always-valid) `Arc`
+/// even if a prior writer panicked and poisoned the lock.
+fn read_slot(slot: &RwLock<Arc<EnvSnapshot>>) -> Arc<EnvSnapshot> {
+    match slot.read() {
+        Ok(guard) => Arc::clone(&guard),
+        Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+    }
 }
 
 impl EnvironmentCatalog {
@@ -151,20 +181,43 @@ impl EnvironmentCatalog {
         cat
     }
 
-    /// Registers an environment, returning its id.
+    /// Registers an environment at epoch 0, returning its id.
     pub fn register(&mut self, name: impl Into<String>, scenario: Scenario) -> EnvId {
-        self.envs.push(Arc::new(EnvSnapshot::new(name, scenario)));
+        self.envs
+            .push(RwLock::new(Arc::new(EnvSnapshot::new(name, scenario))));
         EnvId(self.envs.len() - 1)
     }
 
-    /// Looks up a snapshot by id.
-    pub fn get(&self, id: EnvId) -> Option<&Arc<EnvSnapshot>> {
-        self.envs.get(id.0)
+    /// Looks up the current snapshot of a slot. The returned `Arc` stays
+    /// valid (and immutable) across later swaps of the same slot.
+    pub fn get(&self, id: EnvId) -> Option<Arc<EnvSnapshot>> {
+        self.envs.get(id.0).map(read_slot)
+    }
+
+    /// Replaces a slot's environment with a new scenario, keeping the
+    /// slot's name and bumping its epoch by one. Returns the new epoch.
+    ///
+    /// The snapshot (R-tree bulk load, SoA extraction) is built while
+    /// holding the slot's write lock, so concurrent swaps of one slot
+    /// serialize and each epoch is used exactly once; other slots and
+    /// already-admitted requests are unaffected.
+    pub fn swap(&self, id: EnvId, scenario: Scenario) -> Option<u64> {
+        let slot = self.envs.get(id.0)?;
+        let mut guard = match slot.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let epoch = guard.epoch + 1;
+        *guard = Arc::new(EnvSnapshot::at_epoch(guard.name.clone(), scenario, epoch));
+        Some(epoch)
     }
 
     /// Finds an environment id by name.
     pub fn find(&self, name: &str) -> Option<EnvId> {
-        self.envs.iter().position(|e| e.name == name).map(EnvId)
+        self.envs
+            .iter()
+            .position(|e| read_slot(e).name == name)
+            .map(EnvId)
     }
 
     /// Number of registered environments.
@@ -242,6 +295,10 @@ pub struct PlanResponse {
     pub id: u64,
     /// The environment planned in.
     pub env: EnvId,
+    /// Epoch of the environment snapshot the request actually planned
+    /// against (a concurrent [`EnvironmentCatalog::swap`] does not move
+    /// a request off the snapshot it was admitted with).
+    pub epoch: u64,
     /// How the request terminated.
     pub outcome: Outcome,
     /// The planner's result (path, cost, per-stage statistics).
@@ -609,6 +666,17 @@ impl PlanService {
         &self.catalog
     }
 
+    /// Hot-swaps an environment slot while the service runs: requests
+    /// admitted after this call plan against `scenario`; requests already
+    /// queued or planning keep the snapshot they were admitted with.
+    /// Returns the slot's new epoch (also reported per-request in
+    /// [`PlanResponse::epoch`]).
+    pub fn swap_env(&self, id: EnvId, scenario: Scenario) -> Result<u64, RejectReason> {
+        self.catalog
+            .swap(id, scenario)
+            .ok_or(RejectReason::UnknownEnvironment)
+    }
+
     /// The live metrics registry (shared; clone the `Arc` to keep reading
     /// after shutdown).
     pub fn metrics(&self) -> Arc<Metrics> {
@@ -674,7 +742,7 @@ impl PlanService {
         let job = Job {
             id,
             env_id: request.env,
-            env: Arc::clone(env),
+            env,
             variant: request.variant,
             params: request.params,
             deadline_at: request.deadline.map(|d| now + d),
@@ -781,6 +849,78 @@ mod tests {
             assert_eq!(snap.rtree.len(), snap.scenario.obstacles.len());
         }
         assert!(cat.find("nope").is_none());
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_new_requests_see_it() {
+        let mut cat = EnvironmentCatalog::new();
+        let epochs = moped_scenarios::dynamic_epochs(moped_robot::RobotModel::Mobile2d, 3, 3, 2.5);
+        let env = cat.register("drifting-clutter", epochs[0].clone());
+        assert_eq!(cat.get(env).unwrap().epoch, 0);
+
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let before = service
+            .submit(PlanRequest::new(env, small_params(150, 3)))
+            .unwrap()
+            .wait()
+            .into_result()
+            .expect("served");
+        assert_eq!(before.epoch, 0);
+
+        for (i, snap) in epochs.iter().enumerate().skip(1) {
+            assert_eq!(service.swap_env(env, snap.clone()), Ok(i as u64));
+        }
+        let cat = service.catalog();
+        let current = cat.get(env).unwrap();
+        assert_eq!(current.epoch, 2);
+        assert_eq!(current.name, "drifting-clutter");
+        assert_eq!(current.rtree.len(), current.scenario.obstacles.len());
+
+        let after = service
+            .submit(PlanRequest::new(env, small_params(150, 3)))
+            .unwrap()
+            .wait()
+            .into_result()
+            .expect("served");
+        assert_eq!(after.epoch, 2);
+        // Same params, different environment snapshot — the response
+        // epoch is what distinguishes the two results.
+        assert_eq!(
+            service.swap_env(EnvId(99), epochs[0].clone()),
+            Err(RejectReason::UnknownEnvironment)
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn in_flight_requests_keep_their_admitted_snapshot() {
+        let mut cat = EnvironmentCatalog::new();
+        let epochs = moped_scenarios::dynamic_epochs(moped_robot::RobotModel::Mobile2d, 5, 2, 2.5);
+        let env = cat.register("drifting-clutter", epochs[0].clone());
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                stop_poll_every: 16,
+                ..Default::default()
+            },
+        );
+        // Admit a long-running request, swap underneath it, then cancel:
+        // its response must report the epoch it was admitted with.
+        let hog = service
+            .submit(PlanRequest::new(env, small_params(50_000_000, 1)))
+            .unwrap();
+        assert_eq!(service.swap_env(env, epochs[1].clone()), Ok(1));
+        hog.cancel();
+        let response = hog.wait().into_result().expect("served");
+        assert_eq!(response.epoch, 0);
+        service.shutdown();
     }
 
     #[test]

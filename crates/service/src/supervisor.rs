@@ -355,6 +355,7 @@ fn serve_job(
     let _ = job.respond.send(PlanOutcome::Served(PlanResponse {
         id: job.id,
         env: job.env_id,
+        epoch: job.env.epoch,
         outcome,
         result,
         queue_wait,

@@ -298,6 +298,11 @@ impl SiMbrTree {
         self.dim
     }
 
+    /// Node capacity this tree was built with (`max_entries` in `new`).
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
     /// Tree height (0 when empty, 1 when the root is a leaf).
     pub fn height(&self) -> usize {
         let Some(mut n) = self.root else { return 0 };

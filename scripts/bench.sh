@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Machine-readable benchmarks. Two binaries, two JSON artifacts:
+# Machine-readable benchmarks. Three binaries, three JSON artifacts:
 #
 #   planner_bench — old-vs-new hot-path engines on full 6-DoF RRT* runs
 #                   (node visits per nearest, memory-touching visits,
 #                   SAT tests per pose, wall clock) → BENCH_planner.json
+#   corpus_bench  — engine × scenario-family × robot regression matrix
+#                   over the seeded 30-scenario corpus → BENCH_corpus.json
 #   service_bench — worker-pool throughput and latency percentiles at
 #                   1/4/8 workers → BENCH_service.json
 #
 # Record headline numbers in EXPERIMENTS.md when they move. Extra flags
-# are passed to service_bench only; planner_bench runs its recorded
-# configuration (8 plans x 4000 samples).
+# are passed to service_bench only; planner_bench and corpus_bench run
+# their recorded configurations.
 #
 # Usage: scripts/bench.sh [--batch N] [--samples N]
 
@@ -19,7 +21,10 @@ cd "$(dirname "$0")/.."
 cargo run --release -q -p moped-bench --bin planner_bench -- \
     --samples 4000 --plans 8 --out BENCH_planner.json
 
+cargo run --release -q -p moped-bench --bin corpus_bench -- \
+    --samples 900 --out BENCH_corpus.json
+
 cargo run --release -q -p moped-bench --bin service_bench -- \
     --out BENCH_service.json "$@"
 
-echo "bench: OK (BENCH_planner.json, BENCH_service.json)"
+echo "bench: OK (BENCH_planner.json, BENCH_corpus.json, BENCH_service.json)"

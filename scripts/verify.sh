@@ -27,6 +27,10 @@ echo "== planner_bench --smoke =="
 cargo run --release -q -p moped-bench --bin planner_bench -- \
     --smoke --out target/planner_smoke.json
 
+echo "== corpus_bench --smoke =="
+cargo run --release -q -p moped-bench --bin corpus_bench -- \
+    --smoke --out target/corpus_smoke.json
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -11,6 +11,8 @@
 //! * [`geometry`] — OBB/AABB geometry, SAT kernels, MINDIST, op counting
 //! * [`robot`] — the five evaluation robot models (3–7 DoF)
 //! * [`mod@env`] — scenario generation (random fields, narrow passages)
+//! * [`scenarios`] — the seeded procedural scenario corpus (narrow
+//!   passages, mazes, clutter, shelf rooms, moving-obstacle epochs)
 //! * [`rtree`] — the static STR-bulk-loaded obstacle R-tree
 //! * [`simbr`] — the SI-MBR-Tree
 //! * [`kdtree`] — the KD-tree neighbor-search baseline
@@ -55,6 +57,7 @@ pub use moped_obs as obs;
 pub use moped_octree as octree;
 pub use moped_robot as robot;
 pub use moped_rtree as rtree;
+pub use moped_scenarios as scenarios;
 pub use moped_service as service;
 pub use moped_simbr as simbr;
 pub use moped_viz as viz;
