@@ -75,6 +75,13 @@ pub const RULES: &[Rule] = &[
         check: unbounded_channel,
     },
     Rule {
+        id: "mutex-receiver",
+        severity: Severity::Error,
+        summary: "no Mutex/RwLock-wrapped channel Receiver in the serving layer \
+                  (serializes every dequeue; shard the queue instead)",
+        check: mutex_receiver,
+    },
+    Rule {
         id: "nested-lock",
         severity: Severity::Warning,
         summary: "no second .lock() inside one function body (lock-ordering smell)",
@@ -388,6 +395,50 @@ fn unbounded_channel(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                 "unbounded `mpsc::channel()` in the serving layer — use a bounded \
                  `mpsc::sync_channel(capacity)` so backpressure is explicit"
                     .to_string(),
+            );
+        }
+    }
+}
+
+/// rule `mutex-receiver` — a `Mutex<Receiver<_>>` shared by a worker
+/// pool funnels every dequeue through one lock, so adding workers adds
+/// contention instead of throughput: the exact pathology the sharded
+/// work-stealing queue replaced (DESIGN.md §7). Dequeue paths must pull
+/// from per-worker shards, never from a lock-wrapped channel end.
+fn mutex_receiver(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !applies(ctx, &["service"]) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        if !(t.is_ident("Mutex") || t.is_ident("RwLock"))
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct("<"))
+        {
+            continue;
+        }
+        // Skip a path qualifier (`mpsc::`, `std::sync::mpsc::`) so the
+        // fully-qualified spelling cannot dodge the rule.
+        let mut j = i + 2;
+        while toks.get(j).is_some_and(|t| t.kind == TokenKind::Ident)
+            && toks.get(j + 1).is_some_and(|t| t.is_punct("::"))
+        {
+            j += 2;
+        }
+        if toks.get(j).is_some_and(|t| t.is_ident("Receiver")) {
+            emit(
+                ctx,
+                out,
+                "mutex-receiver",
+                t.line,
+                format!(
+                    "`{}<Receiver<_>>` in the serving layer — a lock-wrapped channel end \
+                     serializes every dequeue across the pool; use per-worker shards with \
+                     work stealing (`queue::ShardedQueue`) instead",
+                    t.text
+                ),
             );
         }
     }

@@ -112,6 +112,28 @@ fn unbounded_channel_good() {
 }
 
 #[test]
+fn mutex_receiver_bad() {
+    // Line 6: plain `Mutex<Receiver<_>>` field; line 9: fully-qualified
+    // `RwLock<std::sync::mpsc::Receiver<_>>` in a signature.
+    assert_eq!(
+        findings("bad_mutex_receiver.rs", "service"),
+        vec![("mutex-receiver", 6), ("mutex-receiver", 9)]
+    );
+}
+
+#[test]
+fn mutex_receiver_good() {
+    assert_eq!(findings("good_mutex_receiver.rs", "service"), vec![]);
+}
+
+#[test]
+fn mutex_receiver_only_in_service() {
+    // A lock-wrapped receiver outside the serving layer (say, a bench
+    // harness) is not the pool-serialization pathology: crate scoping.
+    assert_eq!(findings("bad_mutex_receiver.rs", "bench"), vec![]);
+}
+
+#[test]
 fn nested_lock_bad() {
     // The first `.lock()` (line 5) is legal; the overlapping second
     // one (line 6) is the finding.

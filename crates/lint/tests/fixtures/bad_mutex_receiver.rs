@@ -1,0 +1,11 @@
+// Fixture: seeded `mutex-receiver` violations (linted as crate `service`).
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+struct Pool {
+    jobs: Mutex<Receiver<u64>>, // line 6: flagged — one lock gates every dequeue
+}
+
+fn wrap(rx: std::sync::mpsc::Receiver<u64>) -> std::sync::RwLock<std::sync::mpsc::Receiver<u64>> {
+    std::sync::RwLock::new(rx) // the fully-qualified type on line 9 is the finding
+}

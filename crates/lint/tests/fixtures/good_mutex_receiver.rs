@@ -1,0 +1,16 @@
+// Fixture: serving-layer dequeue code that respects `mutex-receiver`.
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+// Per-worker shard: each worker locks only its own deque (a thief locks
+// one victim's), so dequeues never funnel through a single lock.
+struct Shard {
+    jobs: Mutex<VecDeque<u64>>,
+}
+
+fn pop(shard: &Shard) -> Option<u64> {
+    match shard.jobs.lock() {
+        Ok(mut q) => q.pop_front(),
+        Err(poisoned) => poisoned.into_inner().pop_front(),
+    }
+}

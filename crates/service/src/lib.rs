@@ -24,8 +24,15 @@
 //!   hook is polled every few sampling rounds, and an expired or
 //!   cancelled request returns its best-so-far anytime result instead of
 //!   running away or killing a thread.
-//! * **Admission control** — the queue is bounded; a full queue rejects
-//!   with [`RejectReason::QueueFull`] rather than buffering unboundedly.
+//! * **Admission control** — the queue is bounded (one global capacity
+//!   across all shards); a full queue rejects with
+//!   [`RejectReason::QueueFull`] rather than buffering unboundedly.
+//! * **Contention-free dispatch** — admission round-robins jobs onto
+//!   per-worker deques; a worker dequeues from its own shard and steals
+//!   the oldest job from a sibling when its shard runs dry, so the pool
+//!   never serializes on a shared queue lock and no request waits
+//!   behind one idle worker. Responses resolve through per-request
+//!   one-shot slots, and hot metrics counters are sharded per worker.
 //! * **Fault tolerance** — every planning attempt runs inside a panic
 //!   guard, so a panicking request resolves its ticket with a typed
 //!   [`PlanFailure`] instead of wedging the client; a supervisor thread
@@ -68,13 +75,13 @@
 
 pub mod fault;
 pub mod metrics;
+mod queue;
 mod supervisor;
 
 use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use moped_core::{PlanResult, PlannerParams, Variant};
@@ -86,6 +93,7 @@ use moped_rtree::RTree;
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use metrics::Metrics;
 
+use queue::{PushRefused, Responder, ResponseSlot, ShardedQueue, TryTake};
 use supervisor::{Pool, WorkerShared};
 
 /// R-tree fanout used for environment snapshots (the paper's default).
@@ -552,7 +560,7 @@ pub struct PlanTicket {
     id: u64,
     env: EnvId,
     cancel: Arc<AtomicBool>,
-    rx: Receiver<PlanOutcome>,
+    slot: Arc<ResponseSlot>,
     resolved: Cell<bool>,
 }
 
@@ -569,12 +577,13 @@ impl PlanTicket {
     }
 
     /// Blocks until the request resolves. If the serving worker died
-    /// without responding, this returns a [`FailureReason::WorkerDied`]
-    /// failure instead of panicking.
+    /// without responding (its responder was dropped unsent), this
+    /// returns a [`FailureReason::WorkerDied`] failure instead of
+    /// panicking.
     pub fn wait(self) -> PlanOutcome {
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| PlanOutcome::Failed(self.disconnect_failure()))
+        self.slot
+            .wait_take()
+            .unwrap_or_else(|| PlanOutcome::Failed(self.disconnect_failure()))
     }
 
     /// Returns the resolution if it is already available, without
@@ -587,13 +596,13 @@ impl PlanTicket {
         if self.resolved.get() {
             return None;
         }
-        match self.rx.try_recv() {
-            Ok(outcome) => {
+        match self.slot.try_take() {
+            TryTake::Pending => None,
+            TryTake::Resolved(outcome) => {
                 self.resolved.set(true);
                 Some(outcome)
             }
-            Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => {
+            TryTake::Abandoned => {
                 self.resolved.set(true);
                 Some(PlanOutcome::Failed(self.disconnect_failure()))
             }
@@ -620,13 +629,13 @@ pub(crate) struct Job {
     pub(crate) deadline_at: Option<Instant>,
     pub(crate) cancel: Arc<AtomicBool>,
     pub(crate) enqueued: Instant,
-    pub(crate) respond: SyncSender<PlanOutcome>,
+    pub(crate) respond: Responder,
 }
 
 /// The concurrent batch planning engine. See the crate docs for the
 /// architecture; construct with [`PlanService::start`].
 pub struct PlanService {
-    queue: Option<SyncSender<Job>>,
+    queue: Arc<ShardedQueue>,
     pool: Pool,
     metrics: Arc<Metrics>,
     catalog: Arc<EnvironmentCatalog>,
@@ -640,10 +649,10 @@ impl PlanService {
     pub fn start(catalog: EnvironmentCatalog, config: ServiceConfig) -> Self {
         supervisor::install_quiet_panic_hook();
         let workers_n = config.workers.max(1);
-        let metrics = Arc::new(Metrics::default());
-        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let metrics = Arc::new(Metrics::with_workers(workers_n));
+        let queue = Arc::new(ShardedQueue::new(workers_n, config.queue_capacity.max(1)));
         let shared = Arc::new(WorkerShared {
-            rx: Mutex::new(rx),
+            queue: Arc::clone(&queue),
             metrics: Arc::clone(&metrics),
             poll_every: config.stop_poll_every.max(1),
             retry: config.retry,
@@ -652,7 +661,7 @@ impl PlanService {
         });
         let pool = Pool::start(workers_n, shared);
         PlanService {
-            queue: Some(tx),
+            queue,
             pool,
             metrics,
             catalog: Arc::new(catalog),
@@ -696,15 +705,15 @@ impl PlanService {
     }
 
     /// Admits one request. O(1): resolves the environment snapshot and
-    /// enqueues; planning happens on a worker. Rejection (with reason) is
-    /// immediate when the queue is full, the environment is unknown, or
-    /// the service is shutting down.
+    /// enqueues onto one shard; planning happens on a worker. Rejection
+    /// (with reason) is immediate when the queue is full, the
+    /// environment is unknown, or the service is shutting down.
     pub fn submit(&self, request: PlanRequest) -> Result<PlanTicket, RejectReason> {
         let _span = moped_obs::span(moped_obs::Stage::Admission);
-        let Some(queue) = self.queue.as_ref() else {
+        if self.queue.is_closed() {
             self.metrics.inc_rejected();
             return Err(RejectReason::ShuttingDown);
-        };
+        }
         let Some(env) = self.catalog.get(request.env) else {
             self.metrics.inc_rejected();
             return Err(RejectReason::UnknownEnvironment);
@@ -734,10 +743,11 @@ impl PlanService {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel = Arc::new(AtomicBool::new(false));
-        // Bounded at 1 by construction: every ticket receives exactly one
-        // resolution (worker response, failure, or shutdown drain), so a
-        // one-slot buffer can never block the sender.
-        let (tx, rx) = mpsc::sync_channel(1);
+        // One-shot resolution slot: every ticket receives exactly one
+        // resolution (worker response, failure, or shutdown drain); a
+        // responder dropped unsent marks the slot abandoned so the
+        // ticket surfaces a typed WorkerDied failure.
+        let (slot, responder) = ResponseSlot::pair();
         let now = Instant::now();
         let job = Job {
             id,
@@ -748,32 +758,32 @@ impl PlanService {
             deadline_at: request.deadline.map(|d| now + d),
             cancel: Arc::clone(&cancel),
             enqueued: now,
-            respond: tx,
+            respond: responder,
         };
         // The gauge must go up *before* the job becomes visible to the
         // pool: a worker can dequeue and decrement within nanoseconds of
-        // `try_send` returning, and the decrement clamps at zero — an
+        // `push` returning, and the decrement clamps at zero — an
         // increment arriving after it would strand the gauge at 1.
         self.metrics.queue_entered();
-        match queue.try_send(job) {
+        match self.queue.push(job) {
             Ok(()) => {
                 self.metrics.inc_accepted();
                 Ok(PlanTicket {
                     id,
                     env: request.env,
                     cancel,
-                    rx,
+                    slot,
                     resolved: Cell::new(false),
                 })
             }
-            Err(TrySendError::Full(_)) => {
+            Err(PushRefused::Full) => {
                 self.metrics.queue_left();
                 self.metrics.inc_rejected();
                 Err(RejectReason::QueueFull {
                     capacity: self.config.queue_capacity.max(1),
                 })
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(PushRefused::Closed) => {
                 self.metrics.queue_left();
                 self.metrics.inc_rejected();
                 Err(RejectReason::ShuttingDown)
@@ -810,9 +820,9 @@ impl PlanService {
         // Stop the supervisor first so graceful worker exits below are
         // not mistaken for deaths and respawned.
         self.pool.begin_shutdown();
-        // Dropping the sender closes the queue; workers drain what was
-        // already admitted, then their recv() errors out and they exit.
-        self.queue = None;
+        // Closing the queue stops admission and wakes parked workers;
+        // they drain what was already admitted, then exit.
+        self.queue.close();
         self.pool.join_workers();
         // If every worker died before the queue emptied, resolve the
         // leftovers with typed failures so no ticket ever hangs.
@@ -961,7 +971,7 @@ mod tests {
         assert_eq!(metrics.completed(), 1);
         assert_eq!(metrics.failed(), 0);
         assert_eq!(metrics.queue_depth(), 0);
-        assert_eq!(metrics.service_latency.count(), 1);
+        assert_eq!(metrics.service_latency().count(), 1);
     }
 
     #[test]

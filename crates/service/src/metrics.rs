@@ -4,6 +4,20 @@
 //! Every instrument is a plain `AtomicU64`, so workers record without
 //! locks and readers see monotonically consistent (if racy by a few
 //! events) values — the usual contract of a scrape-style registry.
+//!
+//! # Sharding
+//!
+//! Counters that workers bump on every request (completions, latency
+//! samples, op ledgers) are *sharded per worker*: each worker owns a
+//! cache-line-aligned [`WorkerMetrics`] block and records into it with
+//! zero cross-worker traffic; readers aggregate across shards on demand.
+//! Before sharding, every worker's `fetch_add`s landed on the same
+//! cache lines, so the metrics registry itself was a serialization
+//! point on the per-request path — measurable once the admission queue
+//! stopped being the bottleneck. Counters bumped on the *admission*
+//! path (accepted/rejected, the queue-depth gauge) or rarely
+//! (respawns, injected faults) stay global: they are touched by the
+//! client thread or the supervisor, not the hot worker loop.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -11,11 +25,15 @@ use std::time::Duration;
 use moped_core::PlanStats;
 
 /// Upper bucket bounds in microseconds; one overflow bucket follows.
-/// Spans 50µs .. 10s, roughly ×3 per step — enough resolution for p50/p95
-/// on plans that take anywhere from a fraction of a millisecond to
-/// seconds.
-pub const LATENCY_BUCKET_BOUNDS_US: [u64; 12] = [
-    50, 150, 500, 1_500, 5_000, 15_000, 50_000, 150_000, 500_000, 1_500_000, 5_000_000, 10_000_000,
+/// Spans 50µs .. 13s on a ~×1.6 geometric grid (a 1-2-3-5-8-13 ladder
+/// per decade). The previous grid stepped ×3 per bucket, which collapsed
+/// p50 and p99 onto the same bound for any unimodal latency
+/// distribution narrower than one bucket — exactly what service plans
+/// in the low tens of milliseconds produced.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 28] = [
+    50, 80, 130, 200, 320, 500, 800, 1_300, 2_000, 3_200, 5_000, 8_000, 13_000, 20_000, 32_000,
+    50_000, 80_000, 130_000, 200_000, 320_000, 500_000, 800_000, 1_300_000, 2_000_000, 3_200_000,
+    5_000_000, 8_000_000, 13_000_000,
 ];
 
 const BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
@@ -54,6 +72,17 @@ impl LatencyHistogram {
         self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
+    /// A point-in-time copy of the histogram, for quantile math and
+    /// cross-shard merging.
+    pub fn snapshot(&self) -> LatencyStats {
+        LatencyStats {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -66,44 +95,199 @@ impl LatencyHistogram {
 
     /// Mean of all observations (zero when empty).
     pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_micros(self.sum_us.load(Ordering::Relaxed) / n)
+        self.snapshot().mean()
     }
 
-    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
-    /// bound of the first bucket whose cumulative count reaches
-    /// `q * total`, clamped to the observed max (the overflow bucket has
-    /// no upper bound, and the top occupied bucket's bound may exceed
-    /// every real observation).
+    /// Within-bucket interpolated estimate of the `q`-quantile; see
+    /// [`LatencyStats::quantile`].
     pub fn quantile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
+        self.snapshot().quantile(q)
+    }
+}
+
+/// An owned, mergeable snapshot of a [`LatencyHistogram`] (or of several
+/// shards' histograms summed together).
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyStats {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
         }
-        let max_us = self.max_us.load(Ordering::Relaxed);
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if i < LATENCY_BUCKET_BOUNDS_US.len() {
-                    Duration::from_micros(LATENCY_BUCKET_BOUNDS_US[i].min(max_us))
-                } else {
-                    self.max()
-                };
-            }
+    }
+}
+
+impl LatencyStats {
+    /// Folds another snapshot into this one (bucket-wise sum).
+    fn merge(&mut self, other: &LatencyStats) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
         }
-        self.max()
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
     }
 
-    fn bucket_counts(&self) -> Vec<u64> {
-        self.counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect()
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest recorded observation.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Mean of all observations (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us / self.count)
+    }
+
+    /// Estimate of the `q`-quantile (`0.0 ..= 1.0`) with *linear
+    /// interpolation inside the bucket* holding the target rank: the
+    /// rank's position within the bucket's count places it between the
+    /// bucket's lower and upper bounds (the upper bound clamped to the
+    /// observed max, which also gives the unbounded overflow bucket a
+    /// finite ceiling). Interpolation is what keeps p50 and p99
+    /// distinguishable when most observations share one bucket.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if seen + c >= rank && c > 0 {
+                let lower = if i == 0 {
+                    0
+                } else {
+                    LATENCY_BUCKET_BOUNDS_US[i - 1]
+                };
+                let upper = if i < LATENCY_BUCKET_BOUNDS_US.len() {
+                    LATENCY_BUCKET_BOUNDS_US[i].min(self.max_us)
+                } else {
+                    self.max_us
+                };
+                let upper = upper.max(lower);
+                let frac = (rank - seen) as f64 / c as f64;
+                let us = lower as f64 + (upper - lower) as f64 * frac;
+                return Duration::from_micros(us.round() as u64);
+            }
+            seen += c;
+        }
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Per-bucket counts (the overflow bucket last).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.to_vec()
+    }
+}
+
+/// One worker's private metrics shard. Padded to two cache lines so
+/// adjacent shards never share a line — the whole point of sharding is
+/// that worker A's `fetch_add` does not bounce worker B's line.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct WorkerMetrics {
+    completed: AtomicU64,
+    deadline_expired: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    panics_caught: AtomicU64,
+    retries: AtomicU64,
+    samples: AtomicU64,
+    nodes: AtomicU64,
+    rewires: AtomicU64,
+    solved: AtomicU64,
+    ns_macs: AtomicU64,
+    cc_macs: AtomicU64,
+    insert_macs: AtomicU64,
+    other_macs: AtomicU64,
+    /// Wall time from dequeue to response.
+    pub(crate) service_latency: LatencyHistogram,
+    /// Wall time from admission to dequeue (planning time excluded by
+    /// construction: the sample is taken the moment the job leaves the
+    /// queue, before any attempt runs).
+    pub(crate) queue_wait: LatencyHistogram,
+}
+
+macro_rules! shard_counter_api {
+    ($($(#[$doc:meta])* $name:ident / $inc:ident),* $(,)?) => {
+        impl WorkerMetrics {
+            $(pub(crate) fn $inc(&self) {
+                self.$name.fetch_add(1, Ordering::Relaxed);
+            })*
+        }
+
+        impl Metrics {
+            $(
+                $(#[$doc])*
+                pub fn $name(&self) -> u64 {
+                    self.shards.iter().map(|s| s.$name.load(Ordering::Relaxed)).sum()
+                }
+            )*
+        }
+    };
+}
+
+shard_counter_api! {
+    /// Requests that ran to their full sampling budget.
+    completed / inc_completed,
+    /// Requests cut short by their deadline (best-so-far returned).
+    deadline_expired / inc_deadline_expired,
+    /// Requests cut short by explicit cancellation.
+    cancelled / inc_cancelled,
+    /// Requests resolved as typed failures (exhausted panicking
+    /// attempts, or a shutdown drain with the pool dead).
+    failed / inc_failed,
+    /// Planning attempts that panicked and were caught by the
+    /// worker's per-job guard.
+    panics_caught / inc_panics_caught,
+    /// Retry attempts scheduled after a caught panic.
+    retries / inc_retries,
+}
+
+impl WorkerMetrics {
+    /// Folds one plan's statistics into this shard's op ledgers.
+    pub(crate) fn record_stats(&self, stats: &PlanStats, solved: bool) {
+        self.samples
+            .fetch_add(stats.samples as u64, Ordering::Relaxed);
+        self.nodes.fetch_add(stats.nodes as u64, Ordering::Relaxed);
+        self.rewires.fetch_add(stats.rewires, Ordering::Relaxed);
+        if solved {
+            self.solved.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ns_macs
+            .fetch_add(stats.ns_ops.mac_equiv(), Ordering::Relaxed);
+        self.cc_macs
+            .fetch_add(stats.collision.total_ops().mac_equiv(), Ordering::Relaxed);
+        self.insert_macs
+            .fetch_add(stats.insert_ops.mac_equiv(), Ordering::Relaxed);
+        self.other_macs
+            .fetch_add(stats.other_ops.mac_equiv(), Ordering::Relaxed);
+    }
+
+    /// Records a dequeue-to-response service time.
+    pub(crate) fn record_service_latency(&self, d: Duration) {
+        self.service_latency.record(d);
+    }
+
+    /// Records an admission-to-dequeue queue wait.
+    pub(crate) fn record_queue_wait(&self, d: Duration) {
+        self.queue_wait.record(d);
     }
 }
 
@@ -117,34 +301,29 @@ impl LatencyHistogram {
 /// died before responding resolves *client-side* (as a `WorkerDied`
 /// failure on the ticket) and is counted by no terminal counter here —
 /// `worker_respawns` is the server-side trace of those events.
-#[derive(Debug, Default)]
+///
+/// Hot per-request counters live in per-worker [`WorkerMetrics`] shards
+/// (plus one extra *service shard* for the admission thread and the
+/// shutdown drain); readers aggregate across shards. See the module
+/// docs.
+#[derive(Debug)]
 pub struct Metrics {
     accepted: AtomicU64,
     rejected: AtomicU64,
-    completed: AtomicU64,
-    deadline_expired: AtomicU64,
-    cancelled: AtomicU64,
-    failed: AtomicU64,
-    panics_caught: AtomicU64,
-    retries: AtomicU64,
     worker_respawns: AtomicU64,
     faults_injected: AtomicU64,
     queue_depth: AtomicU64,
-    samples: AtomicU64,
-    nodes: AtomicU64,
-    rewires: AtomicU64,
-    solved: AtomicU64,
-    ns_macs: AtomicU64,
-    cc_macs: AtomicU64,
-    insert_macs: AtomicU64,
-    other_macs: AtomicU64,
-    /// Wall time from dequeue to response.
-    pub service_latency: LatencyHistogram,
-    /// Wall time from admission to dequeue.
-    pub queue_wait: LatencyHistogram,
+    shards: Box<[WorkerMetrics]>,
 }
 
-macro_rules! counter_api {
+impl Default for Metrics {
+    /// A registry for a single-worker pool.
+    fn default() -> Self {
+        Metrics::with_workers(1)
+    }
+}
+
+macro_rules! global_counter_api {
     ($($(#[$doc:meta])* $name:ident / $inc:ident),* $(,)?) => {$(
         $(#[$doc])*
         pub fn $name(&self) -> u64 {
@@ -158,31 +337,45 @@ macro_rules! counter_api {
 }
 
 impl Metrics {
-    counter_api! {
+    /// A registry with one metrics shard per worker, plus the service
+    /// shard.
+    pub fn with_workers(workers: usize) -> Self {
+        let shards: Box<[WorkerMetrics]> = (0..workers.max(1) + 1)
+            .map(|_| WorkerMetrics::default())
+            .collect();
+        Metrics {
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            shards,
+        }
+    }
+
+    global_counter_api! {
         /// Requests admitted into the queue.
         accepted / inc_accepted,
         /// Requests refused at admission (full queue, unknown env, shutdown).
         rejected / inc_rejected,
-        /// Requests that ran to their full sampling budget.
-        completed / inc_completed,
-        /// Requests cut short by their deadline (best-so-far returned).
-        deadline_expired / inc_deadline_expired,
-        /// Requests cut short by explicit cancellation.
-        cancelled / inc_cancelled,
-        /// Requests resolved as typed failures (exhausted panicking
-        /// attempts, or a shutdown drain with the pool dead).
-        failed / inc_failed,
-        /// Planning attempts that panicked and were caught by the
-        /// worker's per-job guard.
-        panics_caught / inc_panics_caught,
-        /// Retry attempts scheduled after a caught panic.
-        retries / inc_retries,
         /// Worker threads respawned by the supervisor after an
         /// unexpected death.
         worker_respawns / inc_worker_respawns,
         /// Faults fired by the configured `FaultPlan` (always zero when
         /// the harness is unconfigured).
         faults_injected / inc_faults_injected,
+    }
+
+    /// Worker `idx`'s private shard (clamped, so a respawned worker with
+    /// a stale index can never reach past the shard table).
+    pub(crate) fn worker(&self, idx: usize) -> &WorkerMetrics {
+        &self.shards[idx.min(self.shards.len() - 2)]
+    }
+
+    /// The extra shard used by non-worker threads (admission faults,
+    /// shutdown drains, tests).
+    pub(crate) fn service_shard(&self) -> &WorkerMetrics {
+        &self.shards[self.shards.len() - 1]
     }
 
     /// Requests currently queued (admitted, not yet dequeued).
@@ -205,47 +398,72 @@ impl Metrics {
 
     /// Requests whose response carried a start-to-goal path.
     pub fn solved(&self) -> u64 {
-        self.solved.load(Ordering::Relaxed)
-    }
-
-    /// Folds one plan's statistics into the aggregate op ledgers.
-    pub(crate) fn record_stats(&self, stats: &PlanStats, solved: bool) {
-        self.samples
-            .fetch_add(stats.samples as u64, Ordering::Relaxed);
-        self.nodes.fetch_add(stats.nodes as u64, Ordering::Relaxed);
-        self.rewires.fetch_add(stats.rewires, Ordering::Relaxed);
-        if solved {
-            self.solved.fetch_add(1, Ordering::Relaxed);
-        }
-        self.ns_macs
-            .fetch_add(stats.ns_ops.mac_equiv(), Ordering::Relaxed);
-        self.cc_macs
-            .fetch_add(stats.collision.total_ops().mac_equiv(), Ordering::Relaxed);
-        self.insert_macs
-            .fetch_add(stats.insert_ops.mac_equiv(), Ordering::Relaxed);
-        self.other_macs
-            .fetch_add(stats.other_ops.mac_equiv(), Ordering::Relaxed);
+        self.shards
+            .iter()
+            .map(|s| s.solved.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total sampling rounds executed across all responses.
     pub fn samples(&self) -> u64 {
-        self.samples.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.samples.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// MAC-equivalent work split `(collision, neighbor-search, insert,
     /// other)` aggregated across all responses.
     pub fn mac_breakdown(&self) -> (u64, u64, u64, u64) {
-        (
-            self.cc_macs.load(Ordering::Relaxed),
-            self.ns_macs.load(Ordering::Relaxed),
-            self.insert_macs.load(Ordering::Relaxed),
-            self.other_macs.load(Ordering::Relaxed),
-        )
+        let mut out = (0, 0, 0, 0);
+        for s in self.shards.iter() {
+            out.0 += s.cc_macs.load(Ordering::Relaxed);
+            out.1 += s.ns_macs.load(Ordering::Relaxed);
+            out.2 += s.insert_macs.load(Ordering::Relaxed);
+            out.3 += s.other_macs.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    fn nodes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.nodes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn rewires(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.rewires.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Dequeue-to-response latency, aggregated across every worker
+    /// shard.
+    pub fn service_latency(&self) -> LatencyStats {
+        let mut merged = LatencyStats::default();
+        for s in self.shards.iter() {
+            merged.merge(&s.service_latency.snapshot());
+        }
+        merged
+    }
+
+    /// Admission-to-dequeue queue wait, aggregated across every worker
+    /// shard.
+    pub fn queue_wait(&self) -> LatencyStats {
+        let mut merged = LatencyStats::default();
+        for s in self.shards.iter() {
+            merged.merge(&s.queue_wait.snapshot());
+        }
+        merged
     }
 
     /// Human-readable dump (one `key value` pair per line).
     pub fn dump_text(&self) -> String {
         let (cc, ns, ins, other) = self.mac_breakdown();
+        let latency = self.service_latency();
+        let queue_wait = self.queue_wait();
         let mut out = String::new();
         let mut kv = |k: &str, v: String| {
             out.push_str(k);
@@ -269,37 +487,33 @@ impl Metrics {
         kv("faults_injected", self.faults_injected().to_string());
         kv("queue_depth", self.queue_depth().to_string());
         kv("samples_total", self.samples().to_string());
-        kv(
-            "nodes_total",
-            self.nodes.load(Ordering::Relaxed).to_string(),
-        );
-        kv(
-            "rewires_total",
-            self.rewires.load(Ordering::Relaxed).to_string(),
-        );
+        kv("nodes_total", self.nodes().to_string());
+        kv("rewires_total", self.rewires().to_string());
         kv("macs_collision", cc.to_string());
         kv("macs_neighbor_search", ns.to_string());
         kv("macs_insert", ins.to_string());
         kv("macs_other", other.to_string());
         kv(
             "latency_p50_us",
-            self.service_latency.quantile(0.50).as_micros().to_string(),
+            latency.quantile(0.50).as_micros().to_string(),
         );
         kv(
             "latency_p95_us",
-            self.service_latency.quantile(0.95).as_micros().to_string(),
+            latency.quantile(0.95).as_micros().to_string(),
         );
         kv(
-            "latency_max_us",
-            self.service_latency.max().as_micros().to_string(),
+            "latency_p99_us",
+            latency.quantile(0.99).as_micros().to_string(),
         );
-        kv(
-            "latency_mean_us",
-            self.service_latency.mean().as_micros().to_string(),
-        );
+        kv("latency_max_us", latency.max().as_micros().to_string());
+        kv("latency_mean_us", latency.mean().as_micros().to_string());
         kv(
             "queue_wait_p95_us",
-            self.queue_wait.quantile(0.95).as_micros().to_string(),
+            queue_wait.quantile(0.95).as_micros().to_string(),
+        );
+        kv(
+            "queue_wait_p99_us",
+            queue_wait.quantile(0.99).as_micros().to_string(),
         );
         // When stage tracing is on, the dump carries the merged per-stage
         // profile (admission, queue wait, attempts, and every planner
@@ -315,6 +529,8 @@ impl Metrics {
     /// workspace deliberately has no serialization dependency).
     pub fn dump_json(&self) -> String {
         let (cc, ns, ins, other) = self.mac_breakdown();
+        let latency = self.service_latency();
+        let queue_wait = self.queue_wait();
         let mut fields: Vec<(String, String)> = vec![
             ("requests_accepted".into(), self.accepted().to_string()),
             ("requests_rejected".into(), self.rejected().to_string()),
@@ -338,19 +554,26 @@ impl Metrics {
             ("macs_other".into(), other.to_string()),
             (
                 "latency_p50_us".into(),
-                self.service_latency.quantile(0.50).as_micros().to_string(),
+                latency.quantile(0.50).as_micros().to_string(),
             ),
             (
                 "latency_p95_us".into(),
-                self.service_latency.quantile(0.95).as_micros().to_string(),
+                latency.quantile(0.95).as_micros().to_string(),
+            ),
+            (
+                "latency_p99_us".into(),
+                latency.quantile(0.99).as_micros().to_string(),
             ),
             (
                 "latency_max_us".into(),
-                self.service_latency.max().as_micros().to_string(),
+                latency.max().as_micros().to_string(),
+            ),
+            (
+                "queue_wait_p99_us".into(),
+                queue_wait.quantile(0.99).as_micros().to_string(),
             ),
         ];
-        let buckets = self
-            .service_latency
+        let buckets = latency
             .bucket_counts()
             .iter()
             .map(u64::to_string)
@@ -384,6 +607,45 @@ mod tests {
         assert!(h.quantile(0.95) <= h.max());
         assert_eq!(h.max(), Duration::from_millis(900));
         assert!(h.mean() >= Duration::from_millis(100));
+    }
+
+    /// Interpolation sanity on a known distribution: 10,000 evenly
+    /// spaced observations over 0..100ms must put p50 near 50ms and p99
+    /// near 99ms — and, critically, *apart* from each other. (The old
+    /// ×3-step grid put both on the same bucket bound.)
+    #[test]
+    fn interpolated_quantiles_track_a_uniform_distribution() {
+        let h = LatencyHistogram::default();
+        for i in 0..10_000u64 {
+            h.record(Duration::from_micros(i * 10));
+        }
+        let p50 = h.quantile(0.50).as_micros() as u64;
+        let p99 = h.quantile(0.99).as_micros() as u64;
+        assert!((45_000..=55_000).contains(&p50), "p50 = {p50}us");
+        assert!((94_000..=100_000).contains(&p99), "p99 = {p99}us");
+        assert!(p50 < p99, "interpolation must separate p50 from p99");
+        // Monotone across the whole quantile range.
+        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q).as_micros() as u64)
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    /// p50 and p99 must stay distinguishable even when every
+    /// observation lands in one bucket — the exact symptom the
+    /// BENCH_service.json artifact showed (p50 == p99 == 13350).
+    #[test]
+    fn quantiles_separate_within_a_single_bucket() {
+        let h = LatencyHistogram::default();
+        // 13350us sat in the old (5ms, 15ms] bucket; the new grid puts
+        // it in (13ms, 20ms]. Spread observations inside one bucket.
+        for i in 0..1000u64 {
+            h.record(Duration::from_micros(13_100 + i * 6)); // 13.1ms..19.1ms
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p99, "p50 {p50:?} must be below p99 {p99:?}");
     }
 
     #[test]
@@ -425,16 +687,41 @@ mod tests {
         assert_eq!(m.queue_depth(), 1);
     }
 
+    /// Shards aggregate: counters bumped on different worker shards (and
+    /// the service shard) all surface through the same readers.
+    #[test]
+    fn sharded_counters_aggregate_on_read() {
+        let m = Metrics::with_workers(4);
+        m.worker(0).inc_completed();
+        m.worker(3).inc_completed();
+        m.service_shard().inc_completed();
+        assert_eq!(m.completed(), 3);
+
+        m.worker(1).record_service_latency(Duration::from_millis(5));
+        m.worker(2)
+            .record_service_latency(Duration::from_millis(50));
+        assert_eq!(m.service_latency().count(), 2);
+        assert_eq!(m.service_latency().max(), Duration::from_millis(50));
+
+        m.worker(0).record_queue_wait(Duration::from_micros(300));
+        assert_eq!(m.queue_wait().count(), 1);
+
+        // Out-of-range worker indices clamp onto the last worker shard
+        // rather than reaching the service shard or panicking.
+        m.worker(99).inc_failed();
+        assert_eq!(m.failed(), 1);
+    }
+
     #[test]
     fn dumps_contain_counters() {
         let m = Metrics::default();
         m.inc_accepted();
-        m.inc_completed();
-        m.inc_failed();
-        m.inc_panics_caught();
-        m.inc_retries();
+        m.worker(0).inc_completed();
+        m.worker(0).inc_failed();
+        m.worker(0).inc_panics_caught();
+        m.worker(0).inc_retries();
         m.inc_worker_respawns();
-        m.service_latency.record(Duration::from_millis(3));
+        m.worker(0).record_service_latency(Duration::from_millis(3));
         let text = m.dump_text();
         assert!(text.contains("requests_accepted 1"));
         assert!(text.contains("requests_completed 1"));
@@ -443,11 +730,14 @@ mod tests {
         assert!(text.contains("retries 1"));
         assert!(text.contains("worker_respawns 1"));
         assert!(text.contains("faults_injected 0"));
+        assert!(text.contains("latency_p99_us"));
+        assert!(text.contains("queue_wait_p99_us"));
         let json = m.dump_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"requests_accepted\":1"));
         assert!(json.contains("\"requests_failed\":1"));
         assert!(json.contains("\"worker_respawns\":1"));
         assert!(json.contains("\"latency_buckets\":["));
+        assert!(json.contains("\"queue_wait_p99_us\":"));
     }
 }

@@ -1,0 +1,386 @@
+//! The sharded, work-stealing admission queue and the one-shot response
+//! slot that resolves each ticket.
+//!
+//! The pool's original admission path was a single bounded
+//! `sync_channel` whose receiver sat behind one `Mutex` shared by every
+//! worker: each dequeue took a pool-wide lock, so adding workers added
+//! contention instead of throughput (BENCH_service.json showed 8 workers
+//! *slower* than 1). This module replaces it with one FIFO deque *per
+//! worker*:
+//!
+//! * **Admission** reserves a slot against a single global capacity
+//!   atomic (reject-don't-buffer is preserved exactly), then round-robins
+//!   the job onto a shard. The push touches one shard lock and — while
+//!   the pool is busy — nothing else.
+//! * **Dequeue** pops the worker's own shard, contending only with
+//!   admission to that shard and the occasional stealer, never with the
+//!   rest of the pool.
+//! * **Stealing**: a worker whose shard runs dry takes the *oldest* job
+//!   from a sibling shard (FIFO steal — this is a latency-bound service,
+//!   not a fork-join pool, so oldest-first minimises queue-wait tails).
+//!   No queued request ever waits behind one idle worker.
+//! * **Parking** is two-phase so the wake machinery stays off the hot
+//!   path: a worker that finds every shard empty registers itself in the
+//!   sleeper count, re-scans, and only then parks on the condvar.
+//!   Admission consults the sleeper count with one atomic load and skips
+//!   the wake lock entirely when nobody sleeps (the saturated steady
+//!   state). The count is incremented *before* the re-scan, so a push
+//!   that misses the count is guaranteed to be seen by the re-scan — no
+//!   lost wakeups; a bounded park timeout is kept as belt and braces.
+//!
+//! The response path is likewise per-request: a [`ResponseSlot`] is a
+//! one-shot mutex+condvar cell. The worker's [`Responder`] half delivers
+//! exactly one resolution; dropping it unsent (a worker death mid-job)
+//! marks the slot abandoned, which the ticket surfaces as a typed
+//! `WorkerDied` failure — the same guarantee the old sender-drop
+//! semantics gave, without allocating channel machinery per request.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use crate::{Job, PlanOutcome};
+
+/// Locks a mutex, recovering the guard if another thread died while
+/// holding it — every structure in this module tolerates a panicked
+/// holder (a worker death can abandon a guard at any point), and
+/// refusing the lock would wedge the pool.
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Belt-and-braces park bound. Wakeups are edge-triggered through the
+/// sleeper count (see the module docs for why no edge can be missed);
+/// the timeout only bounds the cost of a missed edge if that reasoning
+/// is ever broken by a refactor.
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Why a push was refused (the job itself is dropped; its responder
+/// marks the slot abandoned, which is harmless because no ticket has
+/// been handed out for a refused admission).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PushRefused {
+    /// The queue is at its global capacity bound.
+    Full,
+    /// The queue is closed (service shutting down).
+    Closed,
+}
+
+/// One worker's deque.
+struct Shard {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+/// A dequeued job plus how it was obtained.
+pub(crate) struct Popped {
+    pub(crate) job: Job,
+    /// Whether the job came off another worker's shard.
+    pub(crate) stolen: bool,
+}
+
+/// The sharded admission queue. See the module docs.
+pub(crate) struct ShardedQueue {
+    shards: Box<[Shard]>,
+    /// Jobs currently queued across all shards; enforces `capacity`.
+    queued: AtomicUsize,
+    capacity: usize,
+    /// Round-robin admission cursor.
+    next_shard: AtomicUsize,
+    closed: AtomicBool,
+    /// Workers parked (or committed to parking) on `wake`.
+    sleepers: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl ShardedQueue {
+    /// A queue with one shard per worker and a global capacity bound.
+    pub(crate) fn new(workers: usize, capacity: usize) -> Self {
+        let shards: Box<[Shard]> = (0..workers.max(1))
+            .map(|_| Shard {
+                jobs: Mutex::new(VecDeque::new()),
+            })
+            .collect();
+        ShardedQueue {
+            shards,
+            queued: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            next_shard: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Whether [`close`](ShardedQueue::close) has been called.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Admits one job: O(1), reject-don't-buffer. On refusal the job is
+    /// dropped (no ticket exists for it yet).
+    pub(crate) fn push(&self, job: Job) -> Result<(), PushRefused> {
+        if self.is_closed() {
+            return Err(PushRefused::Closed);
+        }
+        // Reserve a slot against the global bound before touching any
+        // shard, so capacity is exact under concurrent admission.
+        if self
+            .queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| {
+                (q < self.capacity).then_some(q + 1)
+            })
+            .is_err()
+        {
+            return Err(PushRefused::Full);
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        lock_ignore_poison(&self.shards[shard].jobs).push_back(job);
+        // Wake one sleeper, if any. The SeqCst load orders after the
+        // shard insert: a worker that registered as a sleeper before
+        // this load will re-scan and find the job; a worker that
+        // registers after it is counted here and woken.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _wake_guard = lock_ignore_poison(&self.sleep);
+            self.wake.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Non-blocking dequeue for `worker`: its own shard first (FIFO),
+    /// then an oldest-first steal from the other shards.
+    pub(crate) fn try_pop(&self, worker: usize) -> Option<Popped> {
+        let n = self.shards.len();
+        let own = worker % n;
+        {
+            let mut jobs = lock_ignore_poison(&self.shards[own].jobs);
+            if let Some(job) = jobs.pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(Popped { job, stolen: false });
+            }
+        }
+        for k in 1..n {
+            let victim = (own + k) % n;
+            let mut jobs = lock_ignore_poison(&self.shards[victim].jobs);
+            if let Some(job) = jobs.pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(Popped { job, stolen: true });
+            }
+        }
+        None
+    }
+
+    /// Blocking dequeue: parks until a job arrives or the queue is
+    /// closed *and* drained. `None` means the worker should exit.
+    pub(crate) fn pop_blocking(&self, worker: usize) -> Option<Popped> {
+        loop {
+            if let Some(popped) = self.try_pop(worker) {
+                return Some(popped);
+            }
+            // Two-phase park: register as a sleeper *before* the
+            // re-scan, so any push that skipped the wake (it read
+            // sleepers == 0) necessarily landed before our registration
+            // and is found by the re-scan below.
+            let guard = lock_ignore_poison(&self.sleep);
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            let rescanned = self.try_pop(worker);
+            if let Some(popped) = rescanned {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return Some(popped);
+            }
+            if self.is_closed() {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .wake
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .unwrap_or_else(PoisonError::into_inner);
+            drop(guard);
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Stops admission and wakes every parked worker; workers drain
+    /// whatever is already queued, then exit.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _wake_guard = lock_ignore_poison(&self.sleep);
+        self.wake.notify_all();
+    }
+
+    /// Removes and returns every job still queued (used after the whole
+    /// pool has exited, to resolve leftovers with typed failures).
+    pub(crate) fn drain_remaining(&self) -> Vec<Job> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let mut jobs = lock_ignore_poison(&shard.jobs);
+            while let Some(job) = jobs.pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                out.push(job);
+            }
+        }
+        out
+    }
+}
+
+/// State of one request's resolution slot.
+// The size gap between variants is deliberate: a resolution is built
+// once per request and moved through the slot exactly once, so boxing
+// the outcome would trade a single move for a heap allocation on the
+// hot path (same reasoning as `PlanOutcome` itself).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum SlotState {
+    /// No resolution yet.
+    Pending,
+    /// Resolution delivered, not yet taken by the ticket.
+    Ready(PlanOutcome),
+    /// Resolution taken by the ticket.
+    Taken,
+    /// The responder was dropped without sending (worker died mid-job).
+    Abandoned,
+}
+
+/// Result of a non-blocking slot probe.
+// Same deliberate size gap as `SlotState`: the outcome is moved out at
+// the poll site exactly once, so boxing it would only add a heap
+// allocation to the response path.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum TryTake {
+    /// Nothing delivered yet.
+    Pending,
+    /// The resolution, taken exactly once.
+    Resolved(PlanOutcome),
+    /// The responder is gone and no resolution will ever arrive.
+    Abandoned,
+}
+
+/// A one-shot resolution cell: one mutex + condvar per request, no
+/// channel machinery. See the module docs.
+#[derive(Debug)]
+pub(crate) struct ResponseSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    /// A fresh slot and its (single) responder half.
+    pub(crate) fn pair() -> (Arc<ResponseSlot>, Responder) {
+        let slot = Arc::new(ResponseSlot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        });
+        let responder = Responder {
+            slot: Arc::clone(&slot),
+            sent: false,
+        };
+        (slot, responder)
+    }
+
+    /// Blocks until the slot resolves. `None` means the responder was
+    /// dropped unsent — the caller maps that to a `WorkerDied` failure.
+    pub(crate) fn wait_take(&self) -> Option<PlanOutcome> {
+        let mut state = lock_ignore_poison(&self.state);
+        loop {
+            if matches!(*state, SlotState::Pending) {
+                state = self
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            return match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Ready(outcome) => Some(outcome),
+                _ => None,
+            };
+        }
+    }
+
+    /// Non-blocking probe; yields the resolution at most once.
+    pub(crate) fn try_take(&self) -> TryTake {
+        let mut state = lock_ignore_poison(&self.state);
+        match &*state {
+            SlotState::Pending => TryTake::Pending,
+            SlotState::Abandoned | SlotState::Taken => TryTake::Abandoned,
+            SlotState::Ready(_) => {
+                let SlotState::Ready(outcome) = std::mem::replace(&mut *state, SlotState::Taken)
+                else {
+                    return TryTake::Abandoned; // just matched Ready above
+                };
+                TryTake::Resolved(outcome)
+            }
+        }
+    }
+}
+
+/// The worker-side half of a [`ResponseSlot`]: delivers exactly one
+/// resolution, or — if dropped unsent by an unwinding worker — marks
+/// the slot abandoned so the ticket resolves as `WorkerDied` instead of
+/// hanging.
+pub(crate) struct Responder {
+    slot: Arc<ResponseSlot>,
+    sent: bool,
+}
+
+impl Responder {
+    /// Delivers the resolution and wakes the waiting ticket, if any.
+    pub(crate) fn send(mut self, outcome: PlanOutcome) {
+        self.sent = true;
+        {
+            let mut state = lock_ignore_poison(&self.slot.state);
+            if matches!(*state, SlotState::Pending) {
+                *state = SlotState::Ready(outcome);
+            }
+        }
+        self.slot.ready.notify_all();
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if self.sent {
+            return;
+        }
+        {
+            let mut state = lock_ignore_poison(&self.slot.state);
+            if matches!(*state, SlotState::Pending) {
+                *state = SlotState::Abandoned;
+            }
+        }
+        self.slot.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_round_trips_a_resolution() {
+        let (slot, responder) = ResponseSlot::pair();
+        assert!(matches!(slot.try_take(), TryTake::Pending));
+        responder.send(PlanOutcome::Failed(crate::PlanFailure {
+            id: 7,
+            env: crate::EnvId(0),
+            reason: crate::FailureReason::ShutdownDrained,
+            attempts: 0,
+        }));
+        let TryTake::Resolved(outcome) = slot.try_take() else {
+            panic!("resolution must be available");
+        };
+        assert_eq!(outcome.failure().map(|f| f.id), Some(7));
+        // Taken exactly once.
+        assert!(matches!(slot.try_take(), TryTake::Abandoned));
+    }
+
+    #[test]
+    fn dropped_responder_abandons_the_slot() {
+        let (slot, responder) = ResponseSlot::pair();
+        drop(responder);
+        assert!(matches!(slot.try_take(), TryTake::Abandoned));
+        assert!(slot.wait_take().is_none());
+    }
+}

@@ -13,8 +13,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::Receiver;
-use std::sync::{Arc, Mutex, MutexGuard, Once, PoisonError};
+use std::sync::{Arc, Mutex, Once};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -23,6 +22,7 @@ use moped_core::{variant_components, LinearIndex, PlanResult, PlanStats, RrtStar
 
 use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use crate::metrics::Metrics;
+use crate::queue::{lock_ignore_poison, ShardedQueue};
 use crate::{
     EnvId, FailureReason, Job, Outcome, PlanFailure, PlanOutcome, PlanResponse, RetryPolicy,
 };
@@ -30,10 +30,16 @@ use crate::{
 /// How often the monitor thread scans the pool for dead workers.
 const MONITOR_POLL: Duration = Duration::from_millis(2);
 
+/// Jobs served between obs flushes while a worker stays busy. The flush
+/// takes the global obs registry lock, so it must stay off the per-job
+/// path; idle workers flush immediately before parking instead, which
+/// keeps profile snapshots fresh whenever the pool has slack.
+const FLUSH_EVERY: usize = 32;
+
 /// State shared by every worker, the monitor, and the service handle.
 pub(crate) struct WorkerShared {
-    /// The pool side of the bounded admission queue.
-    pub(crate) rx: Mutex<Receiver<Job>>,
+    /// The sharded work-stealing admission queue.
+    pub(crate) queue: Arc<ShardedQueue>,
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) poll_every: usize,
     pub(crate) retry: RetryPolicy,
@@ -41,13 +47,6 @@ pub(crate) struct WorkerShared {
     /// Set (before the queue closes) to tell the monitor that worker
     /// exits are expected and must not trigger respawns.
     pub(crate) shutting_down: AtomicBool,
-}
-
-/// Locks a mutex, recovering the guard if a worker died while holding
-/// it — the receiver and handle table carry no invariants a panic could
-/// have broken, and refusing the lock would wedge the whole pool.
-pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 thread_local! {
@@ -156,16 +155,16 @@ impl Pool {
     /// drain): each leftover ticket gets a typed shutdown failure
     /// instead of hanging forever.
     pub(crate) fn fail_leftovers(&self) {
-        let rx = lock_ignore_poison(&self.shared.rx);
-        while let Ok(job) = rx.try_recv() {
+        for job in self.shared.queue.drain_remaining() {
             self.shared.metrics.queue_left();
-            self.shared.metrics.inc_failed();
-            let _ = job.respond.send(PlanOutcome::Failed(PlanFailure {
+            self.shared.metrics.service_shard().inc_failed();
+            let failure = PlanFailure {
                 id: job.id,
                 env: job.env_id,
                 reason: FailureReason::ShutdownDrained,
                 attempts: 0,
-            }));
+            };
+            job.respond.send(PlanOutcome::Failed(failure));
         }
     }
 }
@@ -221,33 +220,57 @@ fn apply_worker_fault(shared: &WorkerShared, site: FaultSite) {
     }
 }
 
-/// A worker: pull a job, serve it (panic-isolated, with retries), repeat
-/// until the queue closes.
+/// A worker: pull a job off its own shard (or steal one), serve it
+/// (panic-isolated, with retries), repeat until the queue closes.
 fn worker_loop(worker_idx: usize, shared: &Arc<WorkerShared>) {
     // Per-worker cache of two-stage checkers: the R-tree inside is a
     // structural clone of the snapshot's shared build (no re-sort), and
     // the scratch buffers stay thread-local, keeping the checker hot
     // across requests to the same environment.
     let mut checkers: HashMap<EnvId, TwoStageChecker> = HashMap::new();
+    let mut since_flush = 0usize;
     loop {
-        let job = {
-            let guard = lock_ignore_poison(&shared.rx);
-            guard.recv()
+        let popped = match shared.queue.try_pop(worker_idx) {
+            Some(popped) => popped,
+            None => {
+                // About to go idle: publish this worker's span data to
+                // the global registry while nobody is waiting on it, so
+                // profile snapshots taken from the API thread see
+                // completed jobs without joining the pool.
+                moped_obs::flush();
+                since_flush = 0;
+                match shared.queue.pop_blocking(worker_idx) {
+                    Some(popped) => popped,
+                    None => break, // queue closed and drained: graceful exit
+                }
+            }
         };
-        let Ok(job) = job else {
-            break; // queue closed and drained: graceful exit
-        };
-        serve_job(worker_idx, job, shared, &mut checkers);
-        // Publish this worker's span data to the global registry while
-        // the thread is idle, so profile snapshots taken from the API
-        // thread see completed jobs without joining the pool.
-        moped_obs::flush();
+        // The job left the queue the moment it was popped: settle the
+        // gauge before any kill site can take this worker down, so a
+        // death between pop and serve cannot leak queue depth.
+        shared.metrics.queue_left();
+        if popped.stolen {
+            // The steal-specific kill site: outside the per-job guard,
+            // so an injected panic here takes the thief down with the
+            // stolen job's response unsent (the dropped responder then
+            // resolves the ticket as WorkerDied).
+            apply_worker_fault(shared, FaultSite::Steal);
+        }
+        serve_job(worker_idx, popped.job, shared, &mut checkers);
+        // Amortized flush: the global registry lock is off the per-job
+        // path, but long busy stretches still publish periodically.
+        since_flush += 1;
+        if since_flush >= FLUSH_EVERY {
+            moped_obs::flush();
+            since_flush = 0;
+        }
     }
+    moped_obs::flush();
 }
 
 /// Serves one job: planning attempts under `catch_unwind`, bounded
-/// retries per policy, and exactly one response on the ticket channel —
-/// unless a worker-kill fault fires, in which case the dropped channel
+/// retries per policy, and exactly one resolution on the ticket's slot —
+/// unless a worker-kill fault fires, in which case the dropped responder
 /// itself resolves the ticket as `WorkerDied`.
 fn serve_job(
     worker_idx: usize,
@@ -255,11 +278,14 @@ fn serve_job(
     shared: &WorkerShared,
     checkers: &mut HashMap<EnvId, TwoStageChecker>,
 ) {
-    let metrics = &shared.metrics;
-    metrics.queue_left();
+    // Hot per-request counters go to this worker's private shard; the
+    // caller already settled the shared queue-depth gauge at pop time.
+    let shard = shared.metrics.worker(worker_idx);
     let started = Instant::now();
+    // Queue wait is admission → dequeue, sampled before any attempt
+    // runs, so planning time can never leak into it.
     let queue_wait = started.duration_since(job.enqueued);
-    metrics.queue_wait.record(queue_wait);
+    shard.record_queue_wait(queue_wait);
     // Queue wait spans two threads, so it is recorded as a synthesized
     // duration rather than an enter/exit pair on either thread.
     moped_obs::record_duration(
@@ -279,11 +305,11 @@ fn serve_job(
                 match plan.fire(FaultSite::Planning) {
                     None | Some(FaultKind::QueueFull) => {}
                     Some(FaultKind::Delay(d)) => {
-                        metrics.inc_faults_injected();
+                        shared.metrics.inc_faults_injected();
                         thread::sleep(d);
                     }
                     Some(FaultKind::Panic) => {
-                        metrics.inc_faults_injected();
+                        shared.metrics.inc_faults_injected();
                         // moped-lint: allow(panic-path) chaos injection: this panic exercises the per-attempt catch_unwind guard
                         panic!("{}", FaultPlan::panic_message(FaultSite::Planning));
                     }
@@ -296,7 +322,7 @@ fn serve_job(
             Ok(result) => break result,
             Err(payload) => {
                 let message = panic_message(payload);
-                metrics.inc_panics_caught();
+                shard.inc_panics_caught();
                 // The cached checker may have been mid-use when the
                 // attempt unwound; rebuild it from the immutable
                 // snapshot rather than trust its scratch state.
@@ -309,7 +335,7 @@ fn serve_job(
                 let identical = last_panic.as_deref() == Some(message.as_str());
                 let deadline_blown = job.deadline_at.is_some_and(|d| Instant::now() >= d);
                 if attempt < shared.retry.max_attempts && !identical && !deadline_blown {
-                    metrics.inc_retries();
+                    shard.inc_retries();
                     last_panic = Some(message);
                     let pause = retry_pause(&shared.retry, job.id, attempt);
                     if !pause.is_zero() {
@@ -319,16 +345,17 @@ fn serve_job(
                     continue;
                 }
 
-                metrics.inc_failed();
-                metrics.service_latency.record(started.elapsed());
+                shard.inc_failed();
+                shard.record_service_latency(started.elapsed());
                 apply_worker_fault(shared, FaultSite::Respond);
-                // A dropped ticket just discards the response.
-                let _ = job.respond.send(PlanOutcome::Failed(PlanFailure {
+                // A dropped ticket just discards the resolution.
+                let failure = PlanFailure {
                     id: job.id,
                     env: job.env_id,
                     reason: FailureReason::Panic { message },
                     attempts: attempt,
-                }));
+                };
+                job.respond.send(PlanOutcome::Failed(failure));
                 return;
             }
         }
@@ -336,23 +363,23 @@ fn serve_job(
 
     let outcome = if result.stats.stopped_early {
         if job.cancel.load(Ordering::Relaxed) {
-            metrics.inc_cancelled();
+            shard.inc_cancelled();
             Outcome::Cancelled
         } else {
-            metrics.inc_deadline_expired();
+            shard.inc_deadline_expired();
             Outcome::DeadlineExpired
         }
     } else {
-        metrics.inc_completed();
+        shard.inc_completed();
         Outcome::Completed
     };
-    metrics.record_stats(&result.stats, result.solved());
+    shard.record_stats(&result.stats, result.solved());
     // Spans every attempt, including retry backoff.
     let service_time = started.elapsed();
-    metrics.service_latency.record(service_time);
+    shard.record_service_latency(service_time);
 
     apply_worker_fault(shared, FaultSite::Respond);
-    let _ = job.respond.send(PlanOutcome::Served(PlanResponse {
+    let response = PlanResponse {
         id: job.id,
         env: job.env_id,
         epoch: job.env.epoch,
@@ -362,7 +389,8 @@ fn serve_job(
         service_time,
         worker: worker_idx,
         attempts: attempt,
-    }));
+    };
+    job.respond.send(PlanOutcome::Served(response));
 }
 
 /// Backoff before retry `attempt` of job `id`: the fixed base plus a

@@ -6,14 +6,15 @@
 #                   SAT tests per pose, wall clock) → BENCH_planner.json
 #   corpus_bench  — engine × scenario-family × robot regression matrix
 #                   over the seeded 30-scenario corpus → BENCH_corpus.json
-#   service_bench — worker-pool throughput and latency percentiles at
-#                   1/4/8 workers → BENCH_service.json
+#   service_bench — open-loop Poisson-arrival load generator: worker-pool
+#                   throughput and latency/queue-wait percentiles at
+#                   1/4/8/16/32 workers → BENCH_service.json
 #
 # Record headline numbers in EXPERIMENTS.md when they move. Extra flags
 # are passed to service_bench only; planner_bench and corpus_bench run
 # their recorded configurations.
 #
-# Usage: scripts/bench.sh [--batch N] [--samples N]
+# Usage: scripts/bench.sh [--requests N] [--samples N] [--rate R] [--seed N]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -31,6 +31,13 @@ echo "== corpus_bench --smoke =="
 cargo run --release -q -p moped-bench --bin corpus_bench -- \
     --smoke --out target/corpus_smoke.json
 
+echo "== service_bench --smoke (scaling gate) =="
+# Tiny open-loop run; the binary itself enforces the gate (4-worker
+# throughput >= 1.5x 1-worker on >=4-cpu machines, a no-collapse floor
+# on smaller ones) and exits non-zero on failure.
+cargo run --release -q -p moped-bench --bin service_bench -- \
+    --smoke --out target/service_smoke.json
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

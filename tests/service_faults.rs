@@ -390,6 +390,105 @@ fn shutdown_resolves_outstanding_tickets_with_drained_results() {
     assert_eq!(metrics.queue_depth(), 0);
 }
 
+/// A thief dying mid-steal is the sharded pool's sharpest edge: the
+/// fault fires only after a job has come off *another* worker's shard,
+/// outside the per-job guard. Every outstanding ticket must still
+/// resolve (no hang), the one stolen victim fails typed as
+/// `WorkerDied` with no double-execution, every served request stays
+/// bit-identical to serial, and the supervisor restores the pool.
+#[test]
+fn worker_dying_mid_steal_resolves_every_ticket_without_double_execution() {
+    let catalog = EnvironmentCatalog::standard(&Robot::mobile_2d());
+    let env_ids: Vec<_> = catalog.ids().collect();
+
+    // One hog pins whichever worker takes it for ~100ms while the other
+    // worker drains its own shard in a few ms and is forced to steal;
+    // the first successful steal kills the thief.
+    let mut requests = vec![PlanRequest::new(
+        env_ids[0],
+        PlannerParams {
+            max_samples: 30_000,
+            seed: 999,
+            ..PlannerParams::default()
+        },
+    )];
+    requests.extend((0..8u64).map(|seed| {
+        PlanRequest::new(
+            env_ids[seed as usize % env_ids.len()],
+            PlannerParams {
+                max_samples: 300,
+                seed,
+                ..PlannerParams::default()
+            },
+        )
+    }));
+    let serial = serial_reference(&catalog, &requests);
+
+    let faults = Arc::new(FaultPlan::new().kill_worker_on_steal(1, 1));
+    let service = PlanService::start(
+        catalog,
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: requests.len(),
+            stop_poll_every: 64,
+            faults: Some(faults),
+            ..Default::default()
+        },
+    );
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|r| service.submit(r).expect("batch fits the queue"))
+        .collect();
+
+    // (a) no hang: every ticket resolves.
+    let mut died = 0usize;
+    let mut served = 0usize;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait().into_result() {
+            // (b) served requests stay bit-identical to serial runs —
+            // whether they ran on their home worker, a thief, or the
+            // respawned replacement.
+            Ok(response) => {
+                assert_eq!(response.outcome, Outcome::Completed, "request {i}");
+                assert_eq!(
+                    response.result.path_cost.to_bits(),
+                    serial[i],
+                    "request {i}"
+                );
+                served += 1;
+            }
+            // (c) the job the dying thief took down fails typed.
+            Err(failure) => {
+                assert_eq!(failure.reason, FailureReason::WorkerDied, "request {i}");
+                died += 1;
+            }
+        }
+    }
+    // Which job the thief stole is timing-dependent (it may grab the
+    // hog itself), but the count is not: the single steal-kill rule
+    // takes down exactly one job.
+    assert_eq!(died, 1, "exactly the one steal-kill victim fails");
+    assert_eq!(served, 8);
+
+    // (d) the supervisor respawns the dead thief back to capacity.
+    await_full_capacity(&service);
+    assert_eq!(service.alive_workers(), 2);
+
+    let metrics = service.shutdown();
+    assert_eq!(metrics.faults_injected(), 1);
+    assert_eq!(metrics.worker_respawns(), 1);
+    // (e) no double-execution: completions account for exactly the
+    // eight survivors; a re-executed stolen job would push this to 9.
+    assert_eq!(metrics.completed(), 8);
+    assert_eq!(metrics.accepted(), 9);
+    assert_eq!(metrics.queue_depth(), 0);
+    assert_eq!(
+        metrics.panics_caught(),
+        0,
+        "the steal kill fires outside the per-job guard"
+    );
+}
+
 /// Shutdown racing a pool that keeps dying: tickets resolve with typed
 /// failures (`WorkerDied` for jobs a dying worker took down,
 /// `ShutdownDrained` for jobs no worker ever picked up) — never a hang.
