@@ -1,0 +1,216 @@
+//! The `atomics-audit` pass: no `Ordering::Relaxed` on atomics that
+//! gate parking/unpark decisions.
+//!
+//! The lost-wakeup bug class: a sleeper checks an atomic flag and
+//! parks; a waker sets the flag and notifies. If the flag traffic is
+//! `Relaxed`, the check and the park are not ordered against the store
+//! and the wakeup can be missed — PR 7 proved this away by hand with
+//! SeqCst; this pass keeps the proof honest mechanically.
+//!
+//! Detection is lexical but scope-aware: a **parking function** is any
+//! fn whose body performs a park/wait/notify/unpark operation; a **gate
+//! atom** is any atomic-op receiver appearing in the `if`/`while`
+//! condition of a parking function — extended transitively through
+//! same-crate calls made from those conditions (so `if self.is_closed()`
+//! gates whatever atom `is_closed` reads). Every `Relaxed` operation on
+//! a gate atom anywhere in the crate is then flagged; non-gating atomics
+//! (counters, IDs, metrics) may stay `Relaxed`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{CrateGraph, KEYWORDS};
+use crate::lexer::{Token, TokenKind};
+use crate::{push_diag, Diagnostic, FileUnit};
+
+/// Crates the pass runs over.
+const SCOPE: &[&str] = &["service"];
+
+/// Operations that park, wake, or wait.
+const PARK_OPS: &[&str] = &[
+    "park",
+    "park_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "notify_one",
+    "notify_all",
+    "unpark",
+];
+
+/// Atomic memory operations (all take an `Ordering`).
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// `.op(` / `::op(` at token `i`?
+fn is_called_op(toks: &[Token], i: usize, ops: &[&str]) -> bool {
+    toks[i].kind == TokenKind::Ident
+        && ops.contains(&toks[i].text.as_str())
+        && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        && i > 0
+        && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::"))
+}
+
+/// The receiver name of a method call at `i`: the ident before the `.`.
+fn receiver(toks: &[Token], i: usize) -> Option<String> {
+    if i >= 2 && toks[i - 1].is_punct(".") && toks[i - 2].kind == TokenKind::Ident {
+        Some(toks[i - 2].text.clone())
+    } else {
+        None
+    }
+}
+
+/// Atomic receivers touched anywhere in fn `f`'s body.
+fn atoms_touched(unit: &FileUnit, graph: &CrateGraph, f: usize) -> BTreeSet<String> {
+    let toks = &unit.lexed.tokens;
+    let (open, close) = graph.fns[f].body;
+    let mut out = BTreeSet::new();
+    for i in open..close.min(toks.len()) {
+        if is_called_op(toks, i, ATOMIC_OPS) {
+            if let Some(r) = receiver(toks, i) {
+                out.insert(r);
+            }
+        }
+    }
+    out
+}
+
+/// Atoms fn `f` touches, transitively through same-crate calls.
+fn atoms_transitive(
+    units: &[FileUnit],
+    graph: &CrateGraph,
+    f: usize,
+    memo: &mut Vec<Option<BTreeSet<String>>>,
+    visiting: &mut Vec<bool>,
+) -> BTreeSet<String> {
+    if let Some(m) = &memo[f] {
+        return m.clone();
+    }
+    if visiting[f] {
+        return BTreeSet::new();
+    }
+    visiting[f] = true;
+    let mut out = atoms_touched(&units[graph.fns[f].file], graph, f);
+    for c in &graph.calls[f] {
+        out.extend(atoms_transitive(units, graph, c.callee, memo, visiting));
+    }
+    visiting[f] = false;
+    memo[f] = Some(out.clone());
+    out
+}
+
+/// Runs the pass over one crate's parsed files.
+pub fn check(crate_key: &str, units: &[FileUnit], graph: &CrateGraph, out: &mut Vec<Diagnostic>) {
+    if !SCOPE.contains(&crate_key) {
+        return;
+    }
+    // Step 1: parking fns.
+    let parking: Vec<usize> = (0..graph.fns.len())
+        .filter(|&f| {
+            let unit = &units[graph.fns[f].file];
+            let toks = &unit.lexed.tokens;
+            let (open, close) = graph.fns[f].body;
+            (open..close.min(toks.len())).any(|i| is_called_op(toks, i, PARK_OPS))
+        })
+        .collect();
+    // Step 2: gate atoms — atomic receivers in if/while conditions of
+    // parking fns, plus whatever the calls in those conditions touch.
+    let mut gates: BTreeMap<String, (usize, u32)> = BTreeMap::new(); // atom -> (parking fn, cond line)
+    let mut memo = vec![None; graph.fns.len()];
+    for &f in &parking {
+        let unit = &units[graph.fns[f].file];
+        let toks = &unit.lexed.tokens;
+        let (open, close) = graph.fns[f].body;
+        let mut i = open;
+        while i < close.min(toks.len()) {
+            if !(toks[i].is_ident("if") || toks[i].is_ident("while")) {
+                i += 1;
+                continue;
+            }
+            let cond_line = toks[i].line;
+            // The condition runs to the body's `{`.
+            let mut j = i + 1;
+            while j < close.min(toks.len()) && !toks[j].is_punct("{") {
+                if is_called_op(toks, j, ATOMIC_OPS) {
+                    if let Some(r) = receiver(toks, j) {
+                        gates.entry(r).or_insert((f, cond_line));
+                    }
+                } else if toks[j].kind == TokenKind::Ident
+                    && !KEYWORDS.contains(&toks[j].text.as_str())
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    for &callee in graph.resolve(&toks[j].text) {
+                        let mut visiting = vec![false; graph.fns.len()];
+                        for atom in atoms_transitive(units, graph, callee, &mut memo, &mut visiting)
+                        {
+                            gates.entry(atom).or_insert((f, cond_line));
+                        }
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+    }
+    if gates.is_empty() {
+        return;
+    }
+    // Step 3: flag every Relaxed op on a gate atom, crate-wide.
+    for unit in units {
+        if unit.is_test_file {
+            continue;
+        }
+        let toks = &unit.lexed.tokens;
+        for i in 0..toks.len() {
+            if !is_called_op(toks, i, ATOMIC_OPS) || unit.is_test_line(toks[i].line) {
+                continue;
+            }
+            let Some(r) = receiver(toks, i) else { continue };
+            let Some((gate_fn, cond_line)) = gates.get(&r) else {
+                continue;
+            };
+            // Does the ordering argument say Relaxed?
+            let mut depth = 0i32;
+            let mut relaxed = false;
+            for t in toks.iter().skip(i + 1) {
+                if t.is_punct("(") {
+                    depth += 1;
+                } else if t.is_punct(")") {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                } else if t.is_ident("Relaxed") {
+                    relaxed = true;
+                }
+            }
+            if relaxed {
+                push_diag(
+                    out,
+                    "atomics-audit",
+                    "structural",
+                    &unit.path,
+                    toks[i].line,
+                    format!(
+                        "`Ordering::Relaxed` on `{r}`, which gates a park/unpark decision \
+                         (`{}`, line {cond_line}) — lost-wakeup risk; use Acquire/Release \
+                         or SeqCst, or justify with a pragma",
+                        graph.fns[*gate_fn].name
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! A per-crate, name-resolved call-graph approximation over the
+//! [`crate::structure`] trees.
+//!
+//! Resolution is purely lexical: a call `foo(…)` or `x.foo(…)` gets an
+//! edge to *every* function named `foo` in the crate (conservative on
+//! method calls — no receiver types exist at this layer), and calls to
+//! names the crate does not define (std, other crates, macro-generated
+//! methods) resolve to nothing. Closures passed to `spawn(…)` are the
+//! one special case: their calls are *not* edges of the spawning
+//! function (the closure does not run at spawn time) — instead the
+//! functions they call become [`CrateGraph::entries`], the thread entry
+//! points the reachability passes start from.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::FileUnit;
+
+/// Identifier keywords that can precede `(` without being a call.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "fn", "move", "ref", "mut",
+    "unsafe", "where", "impl", "dyn", "pub", "crate", "super", "self", "Self", "use", "mod",
+    "enum", "struct", "trait", "type", "const", "static", "else", "break", "continue", "await",
+    "async", "box", "true", "false",
+];
+
+/// One function definition in the crate.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index of the defining file in the unit slice the graph was built
+    /// from.
+    pub file: usize,
+    /// Arena index of the `fn` item in that file's tree.
+    pub item: usize,
+    /// The function's name.
+    pub name: String,
+    /// Token indices of the body's `{` and `}` in the defining file.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One resolved call inside a function body.
+#[derive(Clone, Copy, Debug)]
+pub struct CallSite {
+    /// Index of the callee in [`CrateGraph::fns`].
+    pub callee: usize,
+    /// Token index of the callee name at the call site.
+    pub token: usize,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// The crate's function set, call edges, and thread entry points.
+#[derive(Debug, Default)]
+pub struct CrateGraph {
+    /// Every function defined in the crate.
+    pub fns: Vec<FnNode>,
+    /// Per function: its resolved call sites, in token order.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Functions called from inside `spawn(…)` closures — the thread
+    /// entry points reachability starts from.
+    pub entries: Vec<usize>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CrateGraph {
+    /// All functions named `name`, as indices into [`CrateGraph::fns`].
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `reachable[f]` is true iff `f` is an entry point or transitively
+    /// called from one.
+    pub fn reachable_from_entries(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.fns.len()];
+        let mut work: Vec<usize> = self.entries.clone();
+        while let Some(f) = work.pop() {
+            if std::mem::replace(&mut seen[f], true) {
+                continue;
+            }
+            work.extend(self.calls[f].iter().map(|c| c.callee));
+        }
+        seen
+    }
+}
+
+/// Token-index spans (inclusive) of the parenthesized argument lists of
+/// `spawn(…)` calls in one file.
+pub(crate) fn spawn_arg_spans(unit: &FileUnit) -> Vec<(usize, usize)> {
+    let toks = &unit.lexed.tokens;
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("spawn") || !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        let mut depth = 0i32;
+        for (j, n) in toks.iter().enumerate().skip(i + 1) {
+            if n.is_punct("(") {
+                depth += 1;
+            } else if n.is_punct(")") {
+                depth -= 1;
+                if depth <= 0 {
+                    spans.push((i + 1, j));
+                    break;
+                }
+            }
+        }
+    }
+    spans
+}
+
+/// Whether token index `i` lies inside any of `spans`.
+fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(a, b)| a <= i && i <= b)
+}
+
+/// Builds the crate graph over `units` (one entry per parsed file).
+/// Test files and `#[cfg(test)]` regions contribute neither functions
+/// nor entry points.
+pub fn build(units: &[FileUnit]) -> CrateGraph {
+    let mut graph = CrateGraph::default();
+    // Pass 1: collect function definitions.
+    for (file, unit) in units.iter().enumerate() {
+        if unit.is_test_file {
+            continue;
+        }
+        for (item, it) in unit.tree.fns() {
+            if unit.is_test_line(it.line) {
+                continue;
+            }
+            let Some(name) = it.name.clone() else {
+                continue;
+            };
+            graph
+                .by_name
+                .entry(name.clone())
+                .or_default()
+                .push(graph.fns.len());
+            graph.fns.push(FnNode {
+                file,
+                item,
+                name,
+                body: it.body,
+                line: it.line,
+            });
+        }
+    }
+    // Pass 2: resolve call sites and spawn entry points.
+    graph.calls = vec![Vec::new(); graph.fns.len()];
+    let mut entries = Vec::new();
+    for (file, unit) in units.iter().enumerate() {
+        if unit.is_test_file {
+            continue;
+        }
+        let toks = &unit.lexed.tokens;
+        let spawn_spans = spawn_arg_spans(unit);
+        // Map token index -> innermost enclosing fn, so nested fns own
+        // their calls and the enclosing fn does not.
+        let mut owner: Vec<Option<usize>> = vec![None; toks.len()];
+        for (f, node) in graph.fns.iter().enumerate() {
+            if node.file != file {
+                continue;
+            }
+            let (open, close) = node.body;
+            for slot in owner
+                .iter_mut()
+                .take(close.min(toks.len().saturating_sub(1)) + 1)
+                .skip(open)
+            {
+                // Later fns in arena order are nested deeper (their `{`
+                // comes later), so overwriting yields the innermost.
+                *slot = Some(f);
+            }
+        }
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident
+                || KEYWORDS.contains(&t.text.as_str())
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                || unit.is_test_line(t.line)
+            {
+                continue;
+            }
+            if i > 0 && toks[i - 1].is_ident("fn") {
+                continue; // definition, not call
+            }
+            let targets = graph.by_name.get(&t.text).cloned().unwrap_or_default();
+            if targets.is_empty() {
+                continue;
+            }
+            if in_spans(&spawn_spans, i) {
+                // Runs on the spawned thread, not in the caller.
+                entries.extend(targets);
+                continue;
+            }
+            if let Some(f) = owner[i] {
+                for callee in targets {
+                    graph.calls[f].push(CallSite {
+                        callee,
+                        token: i,
+                        line: t.line,
+                    });
+                }
+            }
+        }
+    }
+    entries.sort_unstable();
+    entries.dedup();
+    graph.entries = entries;
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn unit(src: &str) -> FileUnit {
+        FileUnit::parse(PathBuf::from("x.rs"), false, src)
+    }
+
+    #[test]
+    fn calls_resolve_within_the_crate() {
+        let u = unit("fn a() { b(); c.b(); missing(); }\nfn b() {}\n");
+        let g = build(&[u]);
+        assert_eq!(g.fns.len(), 2);
+        let a = g.resolve("a")[0];
+        assert_eq!(g.calls[a].len(), 2, "free call + method call resolve");
+        assert!(g.calls[a].iter().all(|c| g.fns[c.callee].name == "b"));
+    }
+
+    #[test]
+    fn spawn_closures_make_entries_not_edges() {
+        let u = unit(
+            "fn start() { thread::spawn(move || work(1)); }\nfn work(_x: usize) { helper(); }\nfn helper() {}\n",
+        );
+        let g = build(&[u]);
+        let start = g.resolve("start")[0];
+        assert!(g.calls[start].is_empty(), "{:?}", g.calls[start]);
+        assert_eq!(g.entries, vec![g.resolve("work")[0]]);
+        let reach = g.reachable_from_entries();
+        assert!(reach[g.resolve("work")[0]]);
+        assert!(reach[g.resolve("helper")[0]]);
+        assert!(!reach[start]);
+    }
+
+    #[test]
+    fn test_regions_are_excluded() {
+        let u = unit("fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { live(); }\n}\n");
+        let g = build(&[u]);
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "live");
+    }
+}

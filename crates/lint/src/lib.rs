@@ -6,9 +6,11 @@
 //! stopped the next change from reintroducing a wall-clock read into the
 //! planner core or an `unwrap()` into a worker hot path. This crate
 //! closes that gap statically: a hand-rolled Rust lexer (the workspace
-//! builds offline, so no `syn`), a rule framework with file/line
-//! diagnostics, and ~8 rules encoding real project contracts. See
-//! DESIGN.md §8 for the rule catalog and [`rules::RULES`] for the code.
+//! builds offline, so no `syn`) feeding flat token rules plus three
+//! structural passes — [`lock_order`], [`panic_flow`], [`atomics`] —
+//! that walk a brace-matched item tree ([`structure`]) and a per-crate
+//! call-graph approximation ([`callgraph`]). See DESIGN.md §8 for the
+//! rule catalog and [`rules::RULES`] for the token-rule code.
 //!
 //! Deliberate exceptions are carried in-place by pragmas:
 //!
@@ -26,11 +28,17 @@
 
 #![deny(missing_docs)]
 
+pub mod atomics;
+pub mod callgraph;
 pub mod lexer;
+pub mod lock_order;
 pub mod manifest;
+pub mod panic_flow;
 pub mod pragma;
 pub mod rules;
+pub mod structure;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -62,6 +70,10 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Severity before any `--deny warnings` escalation.
     pub severity: Severity,
+    /// Which analysis layer produced the finding: `"token"` (flat token
+    /// rules), `"structural"` (item-tree/call-graph passes),
+    /// `"pragma"` (pragma validation and staleness), or `"manifest"`.
+    pub pass: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: PathBuf,
     /// 1-based line of the offending token.
@@ -74,14 +86,37 @@ impl Diagnostic {
     /// Renders as the machine-readable JSON object used by `--json`.
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"rule":"{}","severity":"{}","path":"{}","line":{},"message":"{}"}}"#,
+            r#"{{"rule":"{}","pass":"{}","severity":"{}","path":"{}","line":{},"message":"{}"}}"#,
             self.rule,
+            self.pass,
             self.severity,
             json_escape(&self.path.display().to_string()),
             self.line,
             json_escape(&self.message)
         )
     }
+}
+
+/// Pushes a diagnostic for `rule_id`, taking the severity from the rule
+/// catalog — the shared emit path of the structural passes.
+pub(crate) fn push_diag(
+    out: &mut Vec<Diagnostic>,
+    rule_id: &'static str,
+    pass: &'static str,
+    path: &Path,
+    line: u32,
+    message: String,
+) {
+    out.push(Diagnostic {
+        rule: rule_id,
+        severity: rules::rule_by_id(rule_id)
+            .map(|r| r.severity)
+            .unwrap_or(Severity::Warning),
+        pass,
+        path: path.to_path_buf(),
+        line,
+        message,
+    });
 }
 
 impl fmt::Display for Diagnostic {
@@ -196,33 +231,104 @@ fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
     regions
 }
 
-/// Lints one Rust source file with an explicit crate context. This is
-/// the engine's core entry point; the fixture tests call it directly.
+/// One parsed source file: the shared input of the token rules and the
+/// structural passes (lexed once, item tree built once).
+pub struct FileUnit {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// Whole-file test context (under `tests/`, `benches/`, `examples/`).
+    pub is_test_file: bool,
+    /// Lexer output: tokens and comments.
+    pub lexed: lexer::Lexed,
+    /// Line ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// The brace-matched item/block tree.
+    pub tree: structure::ItemTree,
+}
+
+impl FileUnit {
+    /// Lexes and parses one file.
+    pub fn parse(path: PathBuf, is_test_file: bool, src: &str) -> FileUnit {
+        let lexed = lexer::lex(src);
+        let test_regions = test_regions(&lexed.tokens);
+        let tree = structure::build(&lexed.tokens);
+        FileUnit {
+            path,
+            is_test_file,
+            lexed,
+            test_regions,
+            tree,
+        }
+    }
+
+    /// Whether `line` is test code (see [`FileCtx::is_test_line`]).
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.is_test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Lints one crate's Rust sources as a unit: token rules per file, then
+/// the structural passes (which need the whole crate for call-edge
+/// propagation), then pragma application with staleness tracking. This
+/// is the engine's core entry point. Files are `(path, is_test_file,
+/// source)` triples.
+pub fn lint_crate(crate_key: &str, files: &[(PathBuf, bool, String)]) -> Vec<Diagnostic> {
+    let units: Vec<FileUnit> = files
+        .iter()
+        .map(|(path, is_test, src)| FileUnit::parse(path.clone(), *is_test, src))
+        .collect();
+    let mut found = Vec::new();
+    for unit in &units {
+        let ctx = FileCtx {
+            path: &unit.path,
+            crate_key,
+            is_test_file: unit.is_test_file,
+            tokens: &unit.lexed.tokens,
+            comments: &unit.lexed.comments,
+            test_regions: &unit.test_regions,
+        };
+        for rule in rules::RULES {
+            (rule.check)(&ctx, &mut found);
+        }
+    }
+    let graph = callgraph::build(&units);
+    lock_order::check(crate_key, &units, &graph, &mut found);
+    panic_flow::check(crate_key, &units, &graph, &mut found);
+    atomics::check(crate_key, &units, &graph, &mut found);
+    // Pragmas apply per file; unmatched suppressions become
+    // stale-pragma findings.
+    let mut out = Vec::new();
+    let mut remaining = found;
+    for unit in &units {
+        let (mine, rest): (Vec<_>, Vec<_>) =
+            remaining.into_iter().partition(|d| d.path == unit.path);
+        remaining = rest;
+        let (sups, mut pragma_diags) = pragma::parse_pragmas(&unit.path, &unit.lexed.comments);
+        out.extend(pragma::apply_tracked(&unit.path, mine, &sups));
+        out.append(&mut pragma_diags);
+    }
+    out.append(&mut remaining);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Lints one Rust source file with an explicit crate context — a
+/// single-file crate as far as the structural passes are concerned.
+/// The fixture tests call this directly.
 pub fn lint_rust_source(
     path: &Path,
     crate_key: &str,
     is_test_file: bool,
     src: &str,
 ) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let regions = test_regions(&lexed.tokens);
-    let ctx = FileCtx {
-        path,
+    lint_crate(
         crate_key,
-        is_test_file,
-        tokens: &lexed.tokens,
-        comments: &lexed.comments,
-        test_regions: &regions,
-    };
-    let mut found = Vec::new();
-    for rule in rules::RULES {
-        (rule.check)(&ctx, &mut found);
-    }
-    let (sups, mut pragma_diags) = pragma::parse_pragmas(path, &lexed.comments);
-    let mut out = pragma::apply(found, &sups);
-    out.append(&mut pragma_diags);
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
+        &[(path.to_path_buf(), is_test_file, src.to_string())],
+    )
 }
 
 /// Derives the crate key and test-file flag from a workspace-relative
@@ -253,15 +359,23 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     collect_files(root, root, &mut files)?;
     files.sort();
     let mut out = Vec::new();
+    let mut by_crate: BTreeMap<String, Vec<(PathBuf, bool, String)>> = BTreeMap::new();
     for rel in files {
         let src = std::fs::read_to_string(root.join(&rel))?;
         if rel.file_name().is_some_and(|n| n == "Cargo.toml") {
             out.extend(manifest::check_manifest(&rel, &src));
         } else {
             let (crate_key, is_test) = classify_path(&rel);
-            out.extend(lint_rust_source(&rel, &crate_key, is_test, &src));
+            by_crate
+                .entry(crate_key)
+                .or_default()
+                .push((rel, is_test, src));
         }
     }
+    for (crate_key, group) in &by_crate {
+        out.extend(lint_crate(crate_key, group));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(out)
 }
 

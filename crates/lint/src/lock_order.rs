@@ -1,0 +1,492 @@
+//! The `lock-order` pass: guard liveness, held-set propagation over
+//! call edges, deadlock-cycle detection, and blocking-while-locked.
+//!
+//! For every function in the serving layer the pass extracts lock
+//! acquisition sites (`.lock()` / `.read()` / `.write()` and the
+//! `lock_ignore_poison` wrapper), tracks which guards are live at each
+//! point (a `let`-bound guard lives to scope exit or `drop(g)`; an
+//! unbound guard lives to the end of its statement), and then:
+//!
+//! * records a **lock-order edge** `held → acquired` for every
+//!   acquisition made (directly or through a callee) while another lock
+//!   is held, and reports every edge that lies on a cycle of the
+//!   resulting graph as a potential deadlock;
+//! * reports **blocking operations** (`park`, `recv`, `join`, `wait`,
+//!   `send` — every channel here is bounded by the `unbounded-channel`
+//!   rule, so `send` can block) performed while a lock is held, directly
+//!   or through a call chain. A condvar `wait`/`wait_timeout` is exempt
+//!   for the guard it consumes — blocking on the guarded condition is
+//!   the designed idiom — but still fires if *another* lock is held.
+//!
+//! Lock identity is lexical (the receiver's final field/variable name),
+//! which is the same conservative approximation the call graph makes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{spawn_arg_spans, CrateGraph};
+use crate::lexer::TokenKind;
+use crate::{push_diag, Diagnostic, FileUnit};
+
+/// Crates the pass runs over.
+const SCOPE: &[&str] = &["service"];
+
+/// Functions treated as opaque lock-acquisition primitives: call sites
+/// are acquisitions of the argument's lock, and the wrapper's own body
+/// is not analyzed.
+const LOCK_WRAPPERS: &[&str] = &["lock_ignore_poison"];
+
+/// Methods that acquire a guard (nullary, so `io::Read::read(buf)` and
+/// friends cannot match).
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Operations that can block the calling thread.
+const BLOCKING_OPS: &[&str] = &[
+    "park",
+    "park_timeout",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "join",
+    "wait",
+    "wait_timeout",
+    "send",
+];
+
+/// The condvar waits that consume (and are exempt for) a guard.
+const CONDVAR_WAITS: &[&str] = &["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+
+/// One live guard during the scan.
+struct Guard {
+    /// Binding name; `None` for a statement temporary.
+    name: Option<String>,
+    /// The lock it holds.
+    lock: String,
+    /// Brace depth (relative to the fn body) at the binding.
+    depth: usize,
+}
+
+/// Everything the scan learns about one function.
+#[derive(Default)]
+struct FnFacts {
+    /// `held → acquired` edges from direct acquisitions: (held,
+    /// acquired, line).
+    edges: Vec<(String, String, u32)>,
+    /// Direct blocking ops with a non-empty held set: (op, line, held).
+    blocked: Vec<(String, u32, Vec<String>)>,
+    /// Resolved calls made while holding locks: (callee, line, held).
+    calls_held: Vec<(usize, u32, Vec<String>)>,
+    /// Locks this fn acquires directly.
+    acquires: BTreeSet<String>,
+    /// First blocking op in this fn regardless of held locks: (op, line).
+    first_block: Option<(String, u32)>,
+}
+
+/// Extracts the lock name from a receiver chain ending just before
+/// token `dot` (the `.` of `.lock()`), and the chain's first token.
+fn receiver_of(toks: &[crate::lexer::Token], dot: usize) -> (String, usize) {
+    let name = match toks.get(dot.wrapping_sub(1)) {
+        Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+        _ => "<lock>".to_string(),
+    };
+    // Walk left over the `a.b::c.d` chain to its first token.
+    let mut start = dot;
+    while start > 0 {
+        let prev = &toks[start - 1];
+        if prev.kind == TokenKind::Ident || prev.is_punct(".") || prev.is_punct("::") {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    (name, start)
+}
+
+/// Detects a `let [mut] name =` binding directly left of the expression
+/// starting at `start` (skipping `&`, `*`, `match`, `(`). Returns the
+/// bound name.
+fn binding_before(toks: &[crate::lexer::Token], start: usize) -> Option<String> {
+    let mut k = start;
+    while k > 0 {
+        let prev = &toks[k - 1];
+        if prev.is_punct("&") || prev.is_punct("*") || prev.is_punct("(") || prev.is_ident("match")
+        {
+            k -= 1;
+        } else {
+            break;
+        }
+    }
+    if k < 2 || !toks[k - 1].is_punct("=") || toks[k - 2].kind != TokenKind::Ident {
+        return None;
+    }
+    let name = &toks[k - 2];
+    let before = toks.get(k.wrapping_sub(3));
+    let is_let = before.is_some_and(|t| t.is_ident("let"))
+        || (before.is_some_and(|t| t.is_ident("mut"))
+            && toks
+                .get(k.wrapping_sub(4))
+                .is_some_and(|t| t.is_ident("let")));
+    is_let.then(|| name.text.clone())
+}
+
+/// Token index of the `)` matching the `(` at `open`.
+fn close_paren(toks: &[crate::lexer::Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth <= 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Scans one function body for lock events.
+fn scan_fn(unit: &FileUnit, file: usize, graph: &CrateGraph, f: usize) -> FnFacts {
+    let mut facts = FnFacts::default();
+    let toks = &unit.lexed.tokens;
+    let (open, close) = graph.fns[f].body;
+    // Token ranges that belong to someone else: nested fn bodies (their
+    // own graph nodes) and `spawn(…)` closures (run on another thread).
+    let mut foreign: Vec<(usize, usize)> = graph
+        .fns
+        .iter()
+        .filter(|n| n.file == file && n.body.0 > open && n.body.1 < close)
+        .map(|n| n.body)
+        .collect();
+    foreign.extend(
+        spawn_arg_spans(unit)
+            .into_iter()
+            .filter(|&(a, b)| a > open && b < close),
+    );
+    let mut call_lines: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for c in &graph.calls[f] {
+        call_lines.entry(c.token).or_default().push(c.callee);
+    }
+
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open + 1;
+    while i < close.min(toks.len()) {
+        if let Some(&(_, b)) = foreign.iter().find(|&&(a, b)| a <= i && i <= b) {
+            i = b + 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+            i += 1;
+            continue;
+        }
+        if t.is_punct(";") {
+            guards.retain(|g| !(g.name.is_none() && depth <= g.depth));
+            i += 1;
+            continue;
+        }
+        if unit.is_test_line(t.line) {
+            i += 1;
+            continue;
+        }
+        // `drop(g)` releases a named guard early.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(")"))
+        {
+            let victim = &toks[i + 2].text;
+            guards.retain(|g| g.name.as_deref() != Some(victim));
+            i += 4;
+            continue;
+        }
+        // Acquisition via the wrapper: `lock_ignore_poison(&x.y.lock_name)`.
+        let mut acquisition: Option<(String, usize, usize)> = None; // (lock, expr start, resume)
+        if t.kind == TokenKind::Ident
+            && LOCK_WRAPPERS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let end = close_paren(toks, i + 1);
+            let lock = toks[i + 2..end]
+                .iter()
+                .rev()
+                .find(|a| a.kind == TokenKind::Ident)
+                .map(|a| a.text.clone())
+                .unwrap_or_else(|| "<lock>".to_string());
+            acquisition = Some((lock, i, end + 1));
+        }
+        // Acquisition via a nullary guard method: `x.lock()` / `.read()` / `.write()`.
+        if acquisition.is_none()
+            && t.is_punct(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| LOCK_METHODS.contains(&n.text.as_str()))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(")"))
+        {
+            let (lock, start) = receiver_of(toks, i);
+            acquisition = Some((lock, start, i + 4));
+        }
+        if let Some((lock, start, resume)) = acquisition {
+            facts.acquires.insert(lock.clone());
+            let held: Vec<String> = dedup_locks(&guards);
+            for h in &held {
+                if *h != lock {
+                    facts.edges.push((h.clone(), lock.clone(), t.line));
+                }
+            }
+            match binding_before(toks, start) {
+                Some(name) if name == "_" => {} // dropped immediately
+                name => guards.push(Guard { name, lock, depth }),
+            }
+            i = resume;
+            continue;
+        }
+        // Blocking operation: `.op(` or `::op(`.
+        if t.kind == TokenKind::Ident
+            && BLOCKING_OPS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && i > 0
+            && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::"))
+        {
+            let op = t.text.clone();
+            if facts.first_block.is_none() {
+                facts.first_block = Some((op.clone(), t.line));
+            }
+            let mut held = dedup_locks(&guards);
+            if CONDVAR_WAITS.contains(&op.as_str()) {
+                // The guard passed to the wait is exempt: blocking on
+                // its own condition is the point of a condvar.
+                let end = close_paren(toks, i + 1);
+                let args: BTreeSet<&str> = toks[i + 2..end]
+                    .iter()
+                    .filter(|a| a.kind == TokenKind::Ident)
+                    .map(|a| a.text.as_str())
+                    .collect();
+                let consumed: BTreeSet<String> = guards
+                    .iter()
+                    .filter(|g| g.name.as_deref().is_some_and(|n| args.contains(n)))
+                    .map(|g| g.lock.clone())
+                    .collect();
+                held.retain(|l| !consumed.contains(l));
+            }
+            if !held.is_empty() {
+                facts.blocked.push((op, t.line, held));
+            }
+            i += 2;
+            continue;
+        }
+        // Resolved call while holding locks.
+        if let Some(callees) = call_lines.get(&i) {
+            let held = dedup_locks(&guards);
+            if !held.is_empty() {
+                for &callee in callees {
+                    facts.calls_held.push((callee, t.line, held.clone()));
+                }
+            }
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// The distinct locks currently held, in acquisition order.
+fn dedup_locks(guards: &[Guard]) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    guards
+        .iter()
+        .filter(|g| seen.insert(g.lock.clone()))
+        .map(|g| g.lock.clone())
+        .collect()
+}
+
+/// Transitive lock set a function may acquire (memoized; cycles in the
+/// call graph contribute their partial set).
+fn trans_acquires(
+    f: usize,
+    facts: &[FnFacts],
+    graph: &CrateGraph,
+    memo: &mut Vec<Option<BTreeSet<String>>>,
+    visiting: &mut Vec<bool>,
+) -> BTreeSet<String> {
+    if let Some(m) = &memo[f] {
+        return m.clone();
+    }
+    if visiting[f] {
+        return facts[f].acquires.clone();
+    }
+    visiting[f] = true;
+    let mut out = facts[f].acquires.clone();
+    for c in &graph.calls[f] {
+        out.extend(trans_acquires(c.callee, facts, graph, memo, visiting));
+    }
+    visiting[f] = false;
+    memo[f] = Some(out.clone());
+    out
+}
+
+/// A blocking site reached transitively: `(op, fn name, line)`.
+type BlockSite = (String, String, u32);
+
+/// First blocking op a function may reach (memoized).
+fn trans_block(
+    f: usize,
+    facts: &[FnFacts],
+    graph: &CrateGraph,
+    memo: &mut Vec<Option<Option<BlockSite>>>,
+    visiting: &mut Vec<bool>,
+) -> Option<BlockSite> {
+    if let Some(m) = &memo[f] {
+        return m.clone();
+    }
+    if visiting[f] {
+        return None;
+    }
+    visiting[f] = true;
+    let mut out = facts[f]
+        .first_block
+        .as_ref()
+        .map(|(op, line)| (op.clone(), graph.fns[f].name.clone(), *line));
+    if out.is_none() {
+        for c in &graph.calls[f] {
+            out = trans_block(c.callee, facts, graph, memo, visiting);
+            if out.is_some() {
+                break;
+            }
+        }
+    }
+    visiting[f] = false;
+    memo[f] = Some(out.clone());
+    out
+}
+
+/// Whether `from` can reach `to` in the lock-order graph (≥ 1 edge).
+fn reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut work: Vec<&str> = adj.get(from).into_iter().flatten().copied().collect();
+    while let Some(n) = work.pop() {
+        if n == to {
+            return true;
+        }
+        if seen.insert(n) {
+            work.extend(adj.get(n).into_iter().flatten().copied());
+        }
+    }
+    false
+}
+
+/// Runs the pass over one crate's parsed files.
+pub fn check(crate_key: &str, units: &[FileUnit], graph: &CrateGraph, out: &mut Vec<Diagnostic>) {
+    if !SCOPE.contains(&crate_key) {
+        return;
+    }
+    let mut facts: Vec<FnFacts> = Vec::with_capacity(graph.fns.len());
+    for (f, node) in graph.fns.iter().enumerate() {
+        if LOCK_WRAPPERS.contains(&node.name.as_str()) {
+            facts.push(FnFacts::default());
+        } else {
+            facts.push(scan_fn(&units[node.file], node.file, graph, f));
+        }
+    }
+    let mut acq_memo = vec![None; graph.fns.len()];
+    let mut blk_memo = vec![None; graph.fns.len()];
+
+    // Lock-order edges: direct plus through call sites, first site wins.
+    let mut edges: BTreeMap<(String, String), (usize, u32)> = BTreeMap::new();
+    for (f, fact) in facts.iter().enumerate() {
+        let file = graph.fns[f].file;
+        for (held, acquired, line) in &fact.edges {
+            edges
+                .entry((held.clone(), acquired.clone()))
+                .or_insert((file, *line));
+        }
+        for (callee, line, held) in &fact.calls_held {
+            let mut visiting = vec![false; graph.fns.len()];
+            let reachable_locks =
+                trans_acquires(*callee, &facts, graph, &mut acq_memo, &mut visiting);
+            for h in held {
+                for l in &reachable_locks {
+                    if l != h {
+                        edges.entry((h.clone(), l.clone())).or_insert((file, *line));
+                    }
+                }
+            }
+        }
+    }
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (held, acquired) in edges.keys() {
+        adj.entry(held.as_str())
+            .or_default()
+            .insert(acquired.as_str());
+    }
+    for ((held, acquired), (file, line)) in &edges {
+        if reaches(&adj, acquired.as_str(), held.as_str()) || held == acquired {
+            push_diag(
+                out,
+                "lock-order",
+                "structural",
+                &units[*file].path,
+                *line,
+                format!(
+                    "acquiring `{acquired}` while holding `{held}` completes a lock-order \
+                     cycle (a reverse acquisition order exists elsewhere) — potential \
+                     deadlock; pick one order and restructure the other path"
+                ),
+            );
+        }
+    }
+
+    // Blocking while a lock is held: direct sites, then call chains.
+    for (f, fact) in facts.iter().enumerate() {
+        let file = graph.fns[f].file;
+        for (op, line, held) in &fact.blocked {
+            push_diag(
+                out,
+                "lock-order",
+                "structural",
+                &units[file].path,
+                *line,
+                format!(
+                    "blocking `{op}` while holding lock(s) {} — release the guard before \
+                     blocking, or the holder can stall every contender",
+                    held_list(held)
+                ),
+            );
+        }
+        for (callee, line, held) in &fact.calls_held {
+            let mut visiting = vec![false; graph.fns.len()];
+            if let Some((op, in_fn, op_line)) =
+                trans_block(*callee, &facts, graph, &mut blk_memo, &mut visiting)
+            {
+                push_diag(
+                    out,
+                    "lock-order",
+                    "structural",
+                    &units[file].path,
+                    *line,
+                    format!(
+                        "call to `{}` while holding lock(s) {} may block: it reaches \
+                         `{op}` (in `{in_fn}`, line {op_line})",
+                        graph.fns[*callee].name,
+                        held_list(held)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Renders a held-lock list for messages: `` `a`, `b` ``.
+fn held_list(held: &[String]) -> String {
+    held.iter()
+        .map(|l| format!("`{l}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

@@ -36,6 +36,7 @@ pub fn check_manifest(path: &Path, src: &str) -> Vec<Diagnostic> {
         out.push(Diagnostic {
             rule: "cargo-deps",
             severity: Severity::Error,
+            pass: "manifest",
             path: path.to_path_buf(),
             line,
             message: format!(

@@ -38,6 +38,7 @@ pub fn parse_pragmas(path: &Path, comments: &[Comment]) -> (Vec<Suppression>, Ve
         diags.push(Diagnostic {
             rule: "invalid-pragma",
             severity: Severity::Error,
+            pass: "pragma",
             path: path.to_path_buf(),
             line,
             message,
@@ -111,6 +112,63 @@ pub fn apply(diags: Vec<Diagnostic>, sups: &[Suppression]) -> Vec<Diagnostic> {
                 .any(|s| s.rule == d.rule && s.lines.contains(&d.line))
         })
         .collect()
+}
+
+/// Like [`apply`], but tracks which suppressions actually matched a
+/// finding and reports the rest as `stale-pragma`: an `allow` that
+/// suppresses nothing is rot — the violation it excused is gone, and
+/// the comment now only misleads. A stale-pragma finding can itself be
+/// suppressed with `allow(stale-pragma) <reason>` on the line above
+/// (for pragmas that guard platform- or cfg-dependent findings).
+pub fn apply_tracked(path: &Path, diags: Vec<Diagnostic>, sups: &[Suppression]) -> Vec<Diagnostic> {
+    let mut matched = vec![false; sups.len()];
+    let mut out: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| {
+            let mut keep = true;
+            for (i, s) in sups.iter().enumerate() {
+                if s.rule == d.rule && s.lines.contains(&d.line) {
+                    matched[i] = true;
+                    keep = false;
+                }
+            }
+            keep
+        })
+        .collect();
+    let stale_rule = rule_by_id("stale-pragma");
+    let stale = |line: u32, rule: &str| Diagnostic {
+        rule: "stale-pragma",
+        severity: stale_rule.map(|r| r.severity).unwrap_or(Severity::Warning),
+        pass: "pragma",
+        path: path.to_path_buf(),
+        line,
+        message: format!(
+            "pragma `allow({rule})` suppresses nothing — the finding it excused is gone; \
+             remove the pragma (or the fix regressed elsewhere)"
+        ),
+    };
+    // First the ordinary rules; an `allow(stale-pragma)` covering the
+    // pragma's line earns its keep by absorbing the staleness report.
+    for i in 0..sups.len() {
+        if matched[i] || sups[i].rule == "stale-pragma" {
+            continue;
+        }
+        let line = sups[i].lines[0];
+        if let Some(j) = sups
+            .iter()
+            .position(|s| s.rule == "stale-pragma" && s.lines.contains(&line))
+        {
+            matched[j] = true;
+            continue;
+        }
+        out.push(stale(line, &sups[i].rule));
+    }
+    for (i, s) in sups.iter().enumerate() {
+        if !matched[i] && s.rule == "stale-pragma" {
+            out.push(stale(s.lines[0], &s.rule));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -59,7 +59,8 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "panic-path",
         severity: Severity::Error,
-        summary: "no unwrap()/expect()/panic!/todo!/unimplemented! in the serving layer",
+        summary: "no unwrap()/expect()/panic!/todo!/unimplemented! in the serving layer, and \
+                  no unguarded indexing/division/assert! on worker-reachable paths",
         check: panic_path,
     },
     Rule {
@@ -113,6 +114,27 @@ pub const RULES: &[Rule] = &[
             "Cargo.toml dependencies must be path-local or workspace-inherited (offline build)",
         check: |_, _| {}, // manifest rule: see crate::manifest::check_manifest
     },
+    Rule {
+        id: "lock-order",
+        severity: Severity::Error,
+        summary: "no lock-order cycles, and no blocking ops (park/recv/wait/join/send) while \
+                  holding a lock",
+        check: |_, _| {}, // structural pass: see crate::lock_order
+    },
+    Rule {
+        id: "atomics-audit",
+        severity: Severity::Error,
+        summary: "no Ordering::Relaxed on atomics that gate park/unpark decisions \
+                  (lost-wakeup class)",
+        check: |_, _| {}, // structural pass: see crate::atomics
+    },
+    Rule {
+        id: "stale-pragma",
+        severity: Severity::Warning,
+        summary: "every `moped-lint: allow` pragma must still suppress a finding \
+                  (suppressions must not rot)",
+        check: |_, _| {}, // pragma pass: see crate::pragma::apply_tracked
+    },
 ];
 
 /// Looks a rule up by id (for pragma validation).
@@ -136,6 +158,7 @@ fn emit(
     out.push(Diagnostic {
         rule: rule.id,
         severity: rule.severity,
+        pass: "token",
         path: ctx.path.to_path_buf(),
         line,
         message: msg,
@@ -271,7 +294,7 @@ fn panic_path(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 /// Identifiers that mark an expression as float-valued for the
 /// `float-eq` heuristic: float-returning geometry methods plus the
 /// float-typed constant namespaces.
-const FLOAT_METHODS: &[&str] = &["norm", "norm_sq", "dot", "sqrt", "hypot", "distance"];
+pub(crate) const FLOAT_METHODS: &[&str] = &["norm", "norm_sq", "dot", "sqrt", "hypot", "distance"];
 const FLOAT_NAMESPACES: &[&str] = &["f64", "f32", "Vec3", "Mat3"];
 
 /// rule `float-eq` — exact `==`/`!=` on floats silently encodes "these

@@ -1,0 +1,238 @@
+//! The brace-matched item/block tree: the structural layer the
+//! scope-aware passes (`lock-order`, `panic-path`, `atomics-audit`)
+//! walk.
+//!
+//! Built directly on the token stream from [`crate::lexer`] — no type
+//! information, no macro expansion — so it is an approximation by
+//! design: every `{ … }` becomes a node, and `fn`/`mod`/`impl`/`trait`
+//! keywords introduce named items when their shape matches. The builder
+//! is total: any token stream, balanced or not, produces a tree without
+//! panicking, with child spans strictly nested inside their parents —
+//! the two invariants the property tests pin.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of construct opened a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }`.
+    Module,
+    /// `fn name(…) { … }`, free or associated.
+    Fn,
+    /// `impl Type { … }` / `impl Trait for Type { … }`.
+    Impl,
+    /// `trait Name { … }`.
+    Trait,
+    /// Any other braced scope: blocks, match/struct bodies, closures,
+    /// macro bodies.
+    Block,
+}
+
+/// One node of the tree.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Construct kind.
+    pub kind: ItemKind,
+    /// The item's name (`fn`/`mod`/`trait` name, `impl`'s self type),
+    /// if any.
+    pub name: Option<String>,
+    /// Token index of the introducing keyword (of `{` for a block).
+    pub start: usize,
+    /// Token indices of the `{` and `}` delimiting the body. An
+    /// unclosed node at EOF ends at the last token.
+    pub body: (usize, usize),
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// Arena indices of directly nested nodes, in source order.
+    pub children: Vec<usize>,
+    /// Arena index of the enclosing node, if any.
+    pub parent: Option<usize>,
+}
+
+/// A whole file's tree, arena-allocated: `items` owns every node,
+/// `roots` indexes the top level.
+#[derive(Clone, Debug, Default)]
+pub struct ItemTree {
+    /// All nodes, in order of their opening brace.
+    pub items: Vec<Item>,
+    /// Nodes with no parent, in source order.
+    pub roots: Vec<usize>,
+}
+
+impl ItemTree {
+    /// Every `fn` node, as `(arena index, item)`.
+    pub fn fns(&self) -> impl Iterator<Item = (usize, &Item)> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.kind == ItemKind::Fn)
+    }
+}
+
+/// Derives the `impl` header's self-type name: the first angle-depth-0
+/// identifier after `impl` — or, for `impl Trait for Type`, after `for`.
+fn impl_name(tokens: &[Token], impl_idx: usize) -> Option<String> {
+    let mut angle: i32 = 0;
+    let mut name: Option<String> = None;
+    for t in tokens.iter().skip(impl_idx + 1).take(64) {
+        if t.is_punct("{") || t.is_punct(";") {
+            break;
+        }
+        if t.kind == TokenKind::Punct {
+            for c in t.text.chars() {
+                match c {
+                    '<' => angle += 1,
+                    '>' => angle = (angle - 1).max(0),
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if t.kind == TokenKind::Ident && angle == 0 {
+            if t.text == "for" {
+                name = None; // the self type follows `for`
+                continue;
+            }
+            if name.is_none() && !matches!(t.text.as_str(), "const" | "unsafe" | "dyn") {
+                name = Some(t.text.clone());
+            }
+        }
+    }
+    name
+}
+
+/// Builds the tree for one token stream. Total: never panics, accepts
+/// unbalanced braces (a stray `}` is ignored, unclosed nodes end at the
+/// last token).
+pub fn build(tokens: &[Token]) -> ItemTree {
+    let mut tree = ItemTree::default();
+    let mut stack: Vec<usize> = Vec::new();
+    // The most recent unconsumed item introducer: (kind, name, keyword
+    // token index). Consumed by the next `{`, cleared by `;` (braceless
+    // items: `mod x;`, trait method declarations). Introducers only arm
+    // when nothing is pending, so `impl`/`fn` appearing inside a pending
+    // signature (`fn f(x: impl Iterator) {`) cannot steal the body.
+    let mut pending: Option<(ItemKind, Option<String>, usize)> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident && pending.is_none() {
+            match t.text.as_str() {
+                // Only `fn <name>` introduces an item; a bare `fn(…)`
+                // pointer type stays part of the surrounding node.
+                "fn" | "mod" | "trait" => {
+                    if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                        let kind = match t.text.as_str() {
+                            "fn" => ItemKind::Fn,
+                            "mod" => ItemKind::Module,
+                            _ => ItemKind::Trait,
+                        };
+                        pending = Some((kind, Some(name.text.clone()), i));
+                    }
+                }
+                "impl" => pending = Some((ItemKind::Impl, impl_name(tokens, i), i)),
+                _ => {}
+            }
+            continue;
+        }
+        if t.is_punct("{") {
+            let (kind, name, start) = pending.take().unwrap_or((ItemKind::Block, None, i));
+            let idx = tree.items.len();
+            tree.items.push(Item {
+                kind,
+                name,
+                start,
+                body: (i, i),
+                line: tokens[start].line,
+                children: Vec::new(),
+                parent: stack.last().copied(),
+            });
+            match stack.last() {
+                Some(&p) => tree.items[p].children.push(idx),
+                None => tree.roots.push(idx),
+            }
+            stack.push(idx);
+        } else if t.is_punct("}") {
+            if let Some(idx) = stack.pop() {
+                tree.items[idx].body.1 = i;
+            }
+        } else if t.is_punct(";") {
+            pending = None;
+        }
+    }
+    let end = tokens.len().saturating_sub(1);
+    for idx in stack {
+        tree.items[idx].body.1 = tree.items[idx].body.1.max(end);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> ItemTree {
+        build(&lex(src).tokens)
+    }
+
+    #[test]
+    fn named_items_are_recognized() {
+        let t = tree_of("mod m {\n  impl Foo {\n    fn bar(&self) { let x = 1; }\n  }\n}\n");
+        let kinds: Vec<(ItemKind, Option<&str>)> = t
+            .items
+            .iter()
+            .map(|i| (i.kind, i.name.as_deref()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (ItemKind::Module, Some("m")),
+                (ItemKind::Impl, Some("Foo")),
+                (ItemKind::Fn, Some("bar")),
+            ]
+        );
+        assert_eq!(t.roots, vec![0]);
+        assert_eq!(t.items[1].parent, Some(0));
+        assert_eq!(t.items[2].parent, Some(1));
+        assert_eq!(t.items[2].line, 3);
+    }
+
+    #[test]
+    fn impl_trait_for_type_names_the_type() {
+        let t = tree_of("impl Display for Diagnostic { }\n");
+        assert_eq!(t.items[0].name.as_deref(), Some("Diagnostic"));
+        let t = tree_of("impl<T: Clone> Wrapper<T> { }\n");
+        assert_eq!(t.items[0].name.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn impl_in_signature_does_not_steal_the_fn_body() {
+        let t = tree_of("fn f(x: impl Iterator) -> impl Clone { x }\n");
+        assert_eq!(t.items[0].kind, ItemKind::Fn);
+        assert_eq!(t.items[0].name.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn inner_braces_become_blocks() {
+        let t = tree_of("fn f() { if a { b(); } match c { _ => {} } }\n");
+        assert_eq!(t.items[0].kind, ItemKind::Fn);
+        assert!(t.items[1..].iter().all(|i| i.kind == ItemKind::Block));
+        // All blocks nest inside the fn body.
+        let (o, c) = t.items[0].body;
+        assert!(t.items[1..].iter().all(|i| o < i.body.0 && i.body.1 < c));
+    }
+
+    #[test]
+    fn unbalanced_input_is_tolerated() {
+        let t = tree_of("} fn f() { let x = { 1; \n");
+        assert!(t.items.iter().all(|i| i.body.0 <= i.body.1));
+        let t = tree_of("{ { } ");
+        assert_eq!(t.items.len(), 2);
+    }
+
+    #[test]
+    fn braceless_items_leave_no_node() {
+        let t = tree_of("mod external;\ntrait T { fn decl(&self); }\n");
+        assert_eq!(t.items.len(), 1);
+        assert_eq!(t.items[0].kind, ItemKind::Trait);
+    }
+}

@@ -270,3 +270,86 @@ fn test_files_are_exempt_from_crate_rules() {
     let d = lint_rust_source(&path, "service", true, &src);
     assert!(d.is_empty(), "{d:?}");
 }
+
+#[test]
+fn lock_order_cycle_bad() {
+    // Line 14 closes the first->second edge, line 20 the reverse one;
+    // together they form the deadlock cycle, so both sites are reported.
+    assert_eq!(
+        findings("bad_lock_order.rs", "service"),
+        vec![("lock-order", 14), ("lock-order", 20)]
+    );
+}
+
+#[test]
+fn lock_order_cycle_good() {
+    assert_eq!(findings("good_lock_order.rs", "service"), vec![]);
+    // The structural passes are scoped to the serving layer: the same
+    // inverted fixture is clean under a planner-crate identity.
+    assert_eq!(findings("bad_lock_order.rs", "core"), vec![]);
+}
+
+#[test]
+fn lock_blocking_bad() {
+    // Line 12: a direct `recv` with the `inner` guard live; line 18: a
+    // call that transitively reaches `join` with the guard live.
+    assert_eq!(
+        findings("bad_lock_blocking.rs", "service"),
+        vec![("lock-order", 12), ("lock-order", 18)]
+    );
+}
+
+#[test]
+fn lock_blocking_good() {
+    assert_eq!(findings("good_lock_blocking.rs", "service"), vec![]);
+}
+
+#[test]
+fn worker_panic_bad() {
+    // Lines 11-13: indexing, integer division, assert! in the spawned
+    // worker's entry fn; line 19: indexing in a transitively reached fn.
+    assert_eq!(
+        findings("bad_worker_panic.rs", "service"),
+        vec![
+            ("panic-path", 11),
+            ("panic-path", 12),
+            ("panic-path", 13),
+            ("panic-path", 19),
+        ]
+    );
+}
+
+#[test]
+fn worker_panic_good() {
+    // `offline_report` still indexes, but nothing a spawned thread runs
+    // can reach it — reachability, not pattern-matching, drives the pass.
+    assert_eq!(findings("good_worker_panic.rs", "service"), vec![]);
+}
+
+#[test]
+fn relaxed_parking_bad() {
+    // Line 16: the Relaxed gate read in the park loop; line 23: the
+    // waker's Relaxed store to the same gate atom.
+    assert_eq!(
+        findings("bad_relaxed_parking.rs", "service"),
+        vec![("atomics-audit", 16), ("atomics-audit", 23)]
+    );
+}
+
+#[test]
+fn relaxed_parking_good() {
+    assert_eq!(findings("good_relaxed_parking.rs", "service"), vec![]);
+}
+
+#[test]
+fn stale_pragma_bad() {
+    assert_eq!(
+        findings("bad_stale_pragma.rs", "core"),
+        vec![("stale-pragma", 3)]
+    );
+}
+
+#[test]
+fn stale_pragma_good() {
+    assert_eq!(findings("good_stale_pragma.rs", "core"), vec![]);
+}

@@ -1,0 +1,23 @@
+//! Seeded lock-order inversion: `first_then_second` takes `first` then
+//! `second`; `second_then_first` takes them in the reverse order. Run
+//! concurrently, each can hold one lock while waiting for the other.
+use std::sync::Mutex;
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn first_then_second(&self) -> u32 {
+        let a = lock_ignore_poison(&self.first);
+        let b = lock_ignore_poison(&self.second);
+        *a + *b
+    }
+
+    pub fn second_then_first(&self) -> u32 {
+        let b = lock_ignore_poison(&self.second);
+        let a = lock_ignore_poison(&self.first);
+        *a + *b
+    }
+}

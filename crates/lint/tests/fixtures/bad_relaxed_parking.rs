@@ -1,0 +1,26 @@
+//! Seeded lost-wakeup hazard: `closed` gates the park loop, but both
+//! the gate read and the waker's store are `Relaxed` — the sleeper's
+//! check and its park are not ordered against the close.
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+pub struct Parker {
+    closed: AtomicBool,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Parker {
+    pub fn park_until_closed(&self) {
+        let guard = lock_ignore_poison(&self.sleep);
+        while !self.closed.load(Ordering::Relaxed) {
+            let guard = self.wake.wait(guard);
+            touch(guard);
+        }
+    }
+
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        self.wake.notify_all();
+    }
+}

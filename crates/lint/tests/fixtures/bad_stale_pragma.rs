@@ -1,0 +1,6 @@
+//! Seeded rotten suppression: the wall-clock read this pragma once
+//! excused was refactored away, so the `allow` now suppresses nothing.
+// moped-lint: allow(wall-clock) timing is injected by the caller
+pub fn pure_addition(x: u64) -> u64 {
+    x + 1
+}

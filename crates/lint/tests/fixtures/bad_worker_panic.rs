@@ -1,0 +1,20 @@
+//! Seeded worker-thread panic sources: everything below is reachable
+//! from the closure handed to `spawn`, so an out-of-bounds index, a
+//! zero divisor, or a failed assert kills a worker, not a test.
+use std::thread;
+
+pub fn start() {
+    thread::spawn(move || run_worker(7));
+}
+
+fn run_worker(idx: usize) {
+    let n = shard_sizes()[idx];
+    let share = 100 / n;
+    assert!(share > 0);
+    finish(share);
+}
+
+fn finish(share: usize) {
+    let weights = vec![1, 2, 3];
+    record(weights[share]);
+}

@@ -1,0 +1,28 @@
+//! The same two-lock structure with a single global order (`first`
+//! before `second`, everywhere) — no cycle, no finding. The transfer
+//! path also shows a call made under a lock whose callee only ever
+//! acquires `second`: the edge is recorded but lies on no cycle.
+use std::sync::Mutex;
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn both(&self) -> u32 {
+        let a = lock_ignore_poison(&self.first);
+        let b = lock_ignore_poison(&self.second);
+        *a + *b
+    }
+
+    pub fn transfer(&self) -> u32 {
+        let a = lock_ignore_poison(&self.first);
+        *a + self.peek_second()
+    }
+
+    fn peek_second(&self) -> u32 {
+        let b = lock_ignore_poison(&self.second);
+        *b
+    }
+}

@@ -1,0 +1,31 @@
+//! The same parking structure with ordered gate traffic — and a plain
+//! statistics counter that stays `Relaxed`, which is fine: it gates no
+//! park/unpark decision.
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+pub struct Parker {
+    closed: AtomicBool,
+    observed: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Parker {
+    pub fn park_until_closed(&self) {
+        let guard = lock_ignore_poison(&self.sleep);
+        while !self.closed.load(Ordering::Acquire) {
+            let guard = self.wake.wait(guard);
+            touch(guard);
+        }
+    }
+
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    pub fn bump(&self) {
+        self.observed.fetch_add(1, Ordering::Relaxed);
+    }
+}

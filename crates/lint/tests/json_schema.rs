@@ -1,0 +1,178 @@
+//! Schema check for `--json` output, with a minimal hand-rolled JSON
+//! parser (the workspace builds offline — no serde). Pins the exact
+//! key set, key order independence, value types, and the closed
+//! vocabularies of `severity` and `pass`, so downstream tooling can
+//! rely on the shape without a schema registry.
+
+use moped_lint::lint_rust_source;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A parsed JSON scalar (the diagnostic object nests nothing).
+#[derive(Debug, PartialEq)]
+enum Scalar {
+    Str(String),
+    Num(i64),
+}
+
+/// Parses one flat JSON object of string/number values. Returns `None`
+/// on any syntax error — the test treats that as failure.
+fn parse_flat_object(s: &str) -> Option<BTreeMap<String, Scalar>> {
+    let mut out = BTreeMap::new();
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    let ws = |b: &[char], i: &mut usize| {
+        while b.get(*i).is_some_and(|c| c.is_whitespace()) {
+            *i += 1
+        }
+    };
+    let string = |b: &[char], i: &mut usize| -> Option<String> {
+        if b.get(*i) != Some(&'"') {
+            return None;
+        }
+        *i += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*i)? {
+                '"' => {
+                    *i += 1;
+                    return Some(out);
+                }
+                '\\' => {
+                    *i += 1;
+                    match b.get(*i)? {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hex: String = b.get(*i + 1..*i + 5)?.iter().collect();
+                            let code = u32::from_str_radix(&hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *i += 4;
+                        }
+                        _ => return None,
+                    }
+                    *i += 1;
+                }
+                c => {
+                    out.push(*c);
+                    *i += 1;
+                }
+            }
+        }
+    };
+    ws(&b, &mut i);
+    if b.get(i) != Some(&'{') {
+        return None;
+    }
+    i += 1;
+    loop {
+        ws(&b, &mut i);
+        if b.get(i) == Some(&'}') {
+            i += 1;
+            break;
+        }
+        let key = string(&b, &mut i)?;
+        ws(&b, &mut i);
+        if b.get(i) != Some(&':') {
+            return None;
+        }
+        i += 1;
+        ws(&b, &mut i);
+        let value = if b.get(i) == Some(&'"') {
+            Scalar::Str(string(&b, &mut i)?)
+        } else {
+            let start = i;
+            while b.get(i).is_some_and(|c| c.is_ascii_digit() || *c == '-') {
+                i += 1;
+            }
+            Scalar::Num(b[start..i].iter().collect::<String>().parse().ok()?)
+        };
+        out.insert(key, value);
+        ws(&b, &mut i);
+        if b.get(i) == Some(&',') {
+            i += 1;
+        }
+    }
+    ws(&b, &mut i);
+    (i == b.len()).then_some(out)
+}
+
+/// A source seeded to produce one finding from every pass layer: a
+/// token-rule hit (`unwrap`), a structural hit (worker indexing), and a
+/// pragma hit (stale suppression).
+const SEEDED: &str = "\
+// moped-lint: allow(wall-clock) this read is long gone
+pub fn start() { std::thread::spawn(move || work(3)); }
+fn work(i: usize) {
+    let xs = vec![1, 2];
+    let x = xs[i];
+    let y = xs.get(x).unwrap();
+    consume(y);
+}
+";
+
+#[test]
+fn json_objects_match_the_documented_schema() {
+    let diags = lint_rust_source(
+        Path::new("crates/service/src/x.rs"),
+        "service",
+        false,
+        SEEDED,
+    );
+    assert!(
+        diags.len() >= 3,
+        "want token+structural+pragma findings: {diags:?}"
+    );
+    let mut passes_seen = Vec::new();
+    for d in &diags {
+        let obj = parse_flat_object(&d.to_json())
+            .unwrap_or_else(|| panic!("unparseable JSON: {}", d.to_json()));
+        let keys: Vec<&str> = obj.keys().map(String::as_str).collect();
+        assert_eq!(
+            keys,
+            vec!["line", "message", "pass", "path", "rule", "severity"],
+            "exact key set, no extras"
+        );
+        let s = |k: &str| match &obj[k] {
+            Scalar::Str(v) => v.clone(),
+            Scalar::Num(n) => panic!("key {k} must be a string, got {n}"),
+        };
+        assert!(
+            matches!(obj["line"], Scalar::Num(n) if n >= 1),
+            "line is a positive number"
+        );
+        assert!(matches!(s("severity").as_str(), "warning" | "error"));
+        assert!(
+            matches!(
+                s("pass").as_str(),
+                "token" | "structural" | "pragma" | "manifest"
+            ),
+            "pass vocabulary: {}",
+            s("pass")
+        );
+        assert!(!s("rule").is_empty() && !s("message").is_empty());
+        assert_eq!(s("path"), "crates/service/src/x.rs");
+        passes_seen.push(s("pass"));
+    }
+    for want in ["token", "structural", "pragma"] {
+        assert!(
+            passes_seen.iter().any(|p| p == want),
+            "seeded source must exercise the {want} pass; saw {passes_seen:?}"
+        );
+    }
+}
+
+#[test]
+fn json_escaping_round_trips() {
+    // A message with quotes/backslashes must stay parseable.
+    let src = "fn f() { let p = \"a\\\\b\"; p.unwrap(); }\n";
+    for d in lint_rust_source(Path::new("x\"y.rs"), "service", false, src) {
+        assert!(
+            parse_flat_object(&d.to_json()).is_some(),
+            "escaping broke: {}",
+            d.to_json()
+        );
+    }
+}

@@ -179,6 +179,7 @@ impl FaultPlan {
                 continue;
             }
             let hit = rule.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            // moped-lint: allow(panic-path) `every` is clamped to >= 1 at rule construction
             if hit % rule.every == 0 {
                 let prior = rule.fired.fetch_add(1, Ordering::Relaxed);
                 if prior < rule.limit && action.is_none() {

@@ -66,7 +66,9 @@ impl LatencyHistogram {
             .iter()
             .position(|&b| us <= b)
             .unwrap_or(BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.counts.get(bucket) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
@@ -367,14 +369,19 @@ impl Metrics {
     }
 
     /// Worker `idx`'s private shard (clamped, so a respawned worker with
-    /// a stale index can never reach past the shard table).
+    /// a stale index can never reach past the shard table; the service
+    /// shard is the fallback, unreachable after the clamp).
     pub(crate) fn worker(&self, idx: usize) -> &WorkerMetrics {
-        &self.shards[idx.min(self.shards.len() - 2)]
+        let workers = self.shards.len().saturating_sub(1);
+        self.shards
+            .get(idx.min(workers.saturating_sub(1)))
+            .unwrap_or_else(|| self.service_shard())
     }
 
     /// The extra shard used by non-worker threads (admission faults,
     /// shutdown drains, tests).
     pub(crate) fn service_shard(&self) -> &WorkerMetrics {
+        // moped-lint: allow(panic-path) the shard table always holds >= 2 entries (`with_workers` allocates workers.max(1) + 1)
         &self.shards[self.shards.len() - 1]
     }
 

@@ -136,8 +136,10 @@ impl ShardedQueue {
         {
             return Err(PushRefused::Full);
         }
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        lock_ignore_poison(&self.shards[shard].jobs).push_back(job);
+        let cursor = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        // moped-lint: allow(panic-path) modulo the shard count, which `new` clamps to >= 1 — in-bounds by construction
+        let shard = &self.shards[cursor % self.shards.len()];
+        lock_ignore_poison(&shard.jobs).push_back(job);
         // Wake one sleeper, if any. The SeqCst load orders after the
         // shard insert: a worker that registered as a sleeper before
         // this load will re-scan and find the job; a worker that
@@ -153,20 +155,15 @@ impl ShardedQueue {
     /// then an oldest-first steal from the other shards.
     pub(crate) fn try_pop(&self, worker: usize) -> Option<Popped> {
         let n = self.shards.len();
+        // moped-lint: allow(panic-path) modulo the shard count, which `new` clamps to >= 1
         let own = worker % n;
-        {
-            let mut jobs = lock_ignore_poison(&self.shards[own].jobs);
+        // Ring sweep: the worker's own shard first (k == 0, a plain
+        // FIFO pop), then an oldest-first steal from each sibling.
+        for (k, shard) in self.shards.iter().cycle().skip(own).take(n).enumerate() {
+            let mut jobs = lock_ignore_poison(&shard.jobs);
             if let Some(job) = jobs.pop_front() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(Popped { job, stolen: false });
-            }
-        }
-        for k in 1..n {
-            let victim = (own + k) % n;
-            let mut jobs = lock_ignore_poison(&self.shards[victim].jobs);
-            if let Some(job) = jobs.pop_front() {
-                self.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(Popped { job, stolen: true });
+                return Some(Popped { job, stolen: k > 0 });
             }
         }
         None
@@ -216,11 +213,12 @@ impl ShardedQueue {
     pub(crate) fn drain_remaining(&self) -> Vec<Job> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
-            let mut jobs = lock_ignore_poison(&shard.jobs);
-            while let Some(job) = jobs.pop_front() {
-                self.queued.fetch_sub(1, Ordering::SeqCst);
-                out.push(job);
-            }
+            // Take the whole deque in one motion and release the shard
+            // lock before accounting — nothing else is appended while a
+            // guard is held.
+            let drained: Vec<Job> = lock_ignore_poison(&shard.jobs).drain(..).collect();
+            self.queued.fetch_sub(drained.len(), Ordering::SeqCst);
+            out.extend(drained);
         }
         out
     }

@@ -169,21 +169,28 @@ impl Pool {
     }
 }
 
-/// Monitor: scan the pool, join any dead worker, respawn it in place.
+/// Monitor: scan the pool, respawn any dead worker in place, and join
+/// the corpses only after releasing the slot table — `join` can block
+/// on thread teardown, and `alive()`/`join_workers()` contend for the
+/// same lock.
 fn monitor_loop(slots: &Mutex<Vec<Option<JoinHandle<()>>>>, shared: &Arc<WorkerShared>) {
     while !shared.shutting_down.load(Ordering::SeqCst) {
+        let mut dead: Vec<JoinHandle<()>> = Vec::new();
         {
             let mut slots = lock_ignore_poison(slots);
             for (idx, slot) in slots.iter_mut().enumerate() {
                 if let Some(handle) = slot.take_if(|h| h.is_finished()) {
-                    // Join result intentionally discarded: the worker is
-                    // dead either way, and the panic payload (if any) was
-                    // already surfaced through the job's ticket.
-                    let _ = handle.join();
+                    dead.push(handle);
                     shared.metrics.inc_worker_respawns();
                     *slot = Some(spawn_worker(idx, shared));
                 }
             }
+        }
+        for handle in dead {
+            // Join result intentionally discarded: the worker is dead
+            // either way, and the panic payload (if any) was already
+            // surfaced through the job's ticket.
+            let _ = handle.join();
         }
         thread::park_timeout(MONITOR_POLL);
     }

@@ -17,8 +17,21 @@ cargo test -q
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
-echo "== moped-lint --deny warnings =="
+echo "== moped-lint --deny warnings (budget: ${LINT_BUDGET_S:=10}s) =="
+# The lint gate must stay cheap enough to run on every PR: fail the
+# verify run outright if the workspace sweep (token rules + structural
+# passes) blows the wall-time budget. The binary is prebuilt first so
+# the budget measures analysis, not compilation.
+cargo build -q -p moped-lint
+lint_start=$(date +%s%N)
 cargo run -q -p moped-lint -- --deny warnings
+lint_end=$(date +%s%N)
+lint_ms=$(( (lint_end - lint_start) / 1000000 ))
+echo "lint wall time: ${lint_ms} ms"
+if [ "$lint_ms" -gt $(( LINT_BUDGET_S * 1000 )) ]; then
+    echo "verify: FAIL — workspace lint took ${lint_ms} ms (> ${LINT_BUDGET_S}s budget)" >&2
+    exit 1
+fi
 
 echo "== cargo test -q -p moped-lint =="
 cargo test -q -p moped-lint
