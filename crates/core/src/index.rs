@@ -316,6 +316,146 @@ impl NeighborIndex for KdIndex {
     }
 }
 
+/// The NN-backend choices the autotuner switches between.
+///
+/// This is the runtime-selectable face of the three concrete index types:
+/// a profile names a backend, [`NnBackend::build`] constructs the matching
+/// [`AnyIndex`], and the planner stays monomorphic over `AnyIndex` so the
+/// event journal and replay machinery keep working for tuned plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NnBackend {
+    /// Brute-force linear scan ([`LinearIndex`]).
+    Linear,
+    /// KD-tree ([`KdIndex`]).
+    Kd,
+    /// SI-MBR tree ([`SimbrIndex`]); SIAS/LCI switches are supplied at
+    /// build time.
+    SiMbr,
+}
+
+impl NnBackend {
+    /// Every backend, in stable order (candidate enumeration, tests).
+    pub const ALL: [NnBackend; 3] = [NnBackend::Linear, NnBackend::Kd, NnBackend::SiMbr];
+
+    /// Stable wire/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NnBackend::Linear => "linear",
+            NnBackend::Kd => "kd-tree",
+            NnBackend::SiMbr => "si-mbr",
+        }
+    }
+
+    /// Parses [`NnBackend::name`] output.
+    pub fn parse(s: &str) -> Option<NnBackend> {
+        match s {
+            "linear" => Some(NnBackend::Linear),
+            "kd-tree" => Some(NnBackend::Kd),
+            "si-mbr" => Some(NnBackend::SiMbr),
+            _ => None,
+        }
+    }
+
+    /// Builds the concrete index for `dim`-dimensional configurations.
+    ///
+    /// `sias` and `lci` only affect the SI-MBR backend (paper switches);
+    /// the exact backends ignore them.
+    pub fn build(self, dim: usize, sias: bool, lci: bool) -> AnyIndex {
+        match self {
+            NnBackend::Linear => AnyIndex::Linear(LinearIndex::new()),
+            NnBackend::Kd => AnyIndex::Kd(KdIndex::new(dim)),
+            NnBackend::SiMbr => AnyIndex::SiMbr(SimbrIndex::new(dim, 6, sias, lci)),
+        }
+    }
+}
+
+/// Enum-dispatch wrapper over the three index backends.
+///
+/// The planner is generic over [`NeighborIndex`]; `AnyIndex` makes the
+/// backend a *runtime* choice (the tuner's profile application seam)
+/// while keeping `RrtStar<AnyIndex>` a single concrete type.
+// The variant size gap is deliberate: exactly one AnyIndex is built per
+// plan and then queried by reference on the NN hot path, so boxing the
+// SI-MBR arena would trade a single oversized move at construction for
+// a pointer chase on every nearest/neighborhood call.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum AnyIndex {
+    /// [`LinearIndex`] variant.
+    Linear(LinearIndex),
+    /// [`KdIndex`] variant.
+    Kd(KdIndex),
+    /// [`SimbrIndex`] variant.
+    SiMbr(SimbrIndex),
+}
+
+impl AnyIndex {
+    /// Which backend this wraps.
+    pub fn backend(&self) -> NnBackend {
+        match self {
+            AnyIndex::Linear(_) => NnBackend::Linear,
+            AnyIndex::Kd(_) => NnBackend::Kd,
+            AnyIndex::SiMbr(_) => NnBackend::SiMbr,
+        }
+    }
+}
+
+impl NeighborIndex for AnyIndex {
+    fn insert(&mut self, id: u64, q: Config, near_hint: Option<u64>, ops: &mut OpCount) {
+        match self {
+            AnyIndex::Linear(i) => i.insert(id, q, near_hint, ops),
+            AnyIndex::Kd(i) => i.insert(id, q, near_hint, ops),
+            AnyIndex::SiMbr(i) => i.insert(id, q, near_hint, ops),
+        }
+    }
+
+    fn nearest(&self, q: &Config, ops: &mut OpCount) -> Option<(u64, f64)> {
+        match self {
+            AnyIndex::Linear(i) => i.nearest(q, ops),
+            AnyIndex::Kd(i) => i.nearest(q, ops),
+            AnyIndex::SiMbr(i) => i.nearest(q, ops),
+        }
+    }
+
+    fn neighborhood(
+        &self,
+        anchor: u64,
+        q: &Config,
+        radius: f64,
+        ops: &mut OpCount,
+    ) -> Vec<(u64, Config)> {
+        match self {
+            AnyIndex::Linear(i) => i.neighborhood(anchor, q, radius, ops),
+            AnyIndex::Kd(i) => i.neighborhood(anchor, q, radius, ops),
+            AnyIndex::SiMbr(i) => i.neighborhood(anchor, q, radius, ops),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyIndex::Linear(i) => i.len(),
+            AnyIndex::Kd(i) => i.len(),
+            AnyIndex::SiMbr(i) => i.len(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyIndex::Linear(i) => i.name(),
+            AnyIndex::Kd(i) => i.name(),
+            AnyIndex::SiMbr(i) => i.name(),
+        }
+    }
+
+    fn fresh(&self) -> Self {
+        match self {
+            AnyIndex::Linear(i) => AnyIndex::Linear(i.fresh()),
+            AnyIndex::Kd(i) => AnyIndex::Kd(i.fresh()),
+            AnyIndex::SiMbr(i) => AnyIndex::SiMbr(i.fresh()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +618,39 @@ mod tests {
         assert!(kd.fresh().is_empty());
         assert_eq!(kd.fresh().tree().dim(), 4);
         assert!(LinearIndex::new().fresh().is_empty());
+    }
+
+    #[test]
+    fn any_index_matches_wrapped_backend() {
+        let pts = seeded_points(90, 4);
+        for backend in NnBackend::ALL {
+            let mut any = backend.build(4, false, false);
+            let mut linear = LinearIndex::new();
+            fill(&mut any, &pts);
+            fill(&mut linear, &pts);
+            assert_eq!(any.backend(), backend);
+            assert_eq!(any.len(), linear.len());
+            let mut ops = OpCount::default();
+            let q = Config::new(&[7.0, 3.0, 11.0, 5.0]);
+            let want = linear.nearest(&q, &mut ops).unwrap().1;
+            let got = any.nearest(&q, &mut ops).unwrap().1;
+            assert!((got - want).abs() < 1e-9, "{} wrong nearest", any.name());
+            let f = any.fresh();
+            assert!(f.is_empty());
+            assert_eq!(f.backend(), backend);
+        }
+    }
+
+    #[test]
+    fn nn_backend_name_round_trip() {
+        for backend in NnBackend::ALL {
+            assert_eq!(NnBackend::parse(backend.name()), Some(backend));
+        }
+        assert_eq!(NnBackend::parse("bogus"), None);
+        assert_eq!(
+            NnBackend::SiMbr.build(3, true, true).name(),
+            "si-mbr+sias+lci"
+        );
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub mod replan;
 pub mod smooth;
 mod variant;
 
-pub use index::{KdIndex, LinearIndex, NeighborIndex, SimbrIndex};
+pub use index::{AnyIndex, KdIndex, LinearIndex, NeighborIndex, NnBackend, SimbrIndex};
 pub use planner::{Engine, PlanResult, PlanStats, PlannerParams, RoundTrace, RrtStar};
 pub use variant::{plan_variant, plan_variant_with_stop, variant_components, Variant};

@@ -12,6 +12,10 @@ use moped_collision::{CollisionChecker, TwoStageChecker};
 use moped_core::{plan_variant, Engine, PlanResult, PlannerParams, RrtStar, SimbrIndex, Variant};
 use moped_env::Scenario;
 use moped_scenarios::CorpusEntry;
+use moped_tune::{
+    plan_with_profile, CalibrationConfig, Calibrator, PlannerProfile, ProbeOutcome, ProfileTable,
+    RequestClass,
+};
 
 /// A planning engine column in the regression matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -25,10 +29,17 @@ pub enum EngineKind {
     RrtConnect,
     /// Multi-tree guided RRT-Connect on the MOPED stack.
     MultiTree,
+    /// Per-class auto-tuned profile resolved from a calibrated
+    /// [`ProfileTable`] ([`run_auto_column`]); without a table
+    /// ([`plan_engine`]) it degrades to the static default profile,
+    /// which is the MOPED RRT\* stack.
+    Auto,
 }
 
 impl EngineKind {
-    /// Every engine column, in report order.
+    /// Every *static* engine column, in report order. [`EngineKind::Auto`]
+    /// is deliberately excluded: its rows need a calibrated
+    /// [`ProfileTable`] and go through [`run_auto_column`].
     pub const ALL: [EngineKind; 4] = [
         EngineKind::ReferenceRrtStar,
         EngineKind::MopedRrtStar,
@@ -43,6 +54,7 @@ impl EngineKind {
             EngineKind::MopedRrtStar => "moped-rrt-star",
             EngineKind::RrtConnect => "moped-rrt-connect",
             EngineKind::MultiTree => "moped-multi-tree",
+            EngineKind::Auto => "moped-auto",
         }
     }
 }
@@ -72,6 +84,12 @@ pub struct MatrixCell {
     pub total_macs: u64,
     /// Wall-clock time of the planning call, in milliseconds.
     pub wall_ms: f64,
+    /// Resolved profile label (`engine/index`), auto rows only.
+    pub profile: Option<String>,
+    /// Resolved NN backend name, auto rows only.
+    pub nn_backend: Option<String>,
+    /// Request class the profile was resolved under, auto rows only.
+    pub class_id: Option<String>,
 }
 
 /// Plans one scenario with one engine column.
@@ -83,6 +101,10 @@ pub fn plan_engine(scenario: &Scenario, engine: EngineKind, params: &PlannerPara
     match engine {
         EngineKind::ReferenceRrtStar => plan_variant(scenario, Variant::V0Baseline, params),
         EngineKind::MopedRrtStar => plan_variant(scenario, Variant::V4Lci, params),
+        // Tableless fallback: the static default profile (documented on
+        // the variant). Callers with a calibrated table use
+        // `run_auto_column`, which resolves per class.
+        EngineKind::Auto => plan_with_profile(scenario, &PlannerProfile::static_default(), params),
         EngineKind::RrtConnect | EngineKind::MultiTree => {
             let checker: Box<dyn CollisionChecker> =
                 Box::new(TwoStageChecker::moped(scenario.obstacles.clone()));
@@ -129,8 +151,65 @@ pub fn run_matrix(
                 nodes: r.stats.nodes,
                 total_macs: r.stats.total_ops().mac_equiv(),
                 wall_ms,
+                profile: None,
+                nn_backend: None,
+                class_id: None,
             });
         }
+    }
+    cells
+}
+
+/// Calibrates a [`ProfileTable`] over the given corpus entries (each
+/// entry is one exemplar of its request class) at the given probe
+/// budget. Deterministic in `(entries, probe_samples)`; callers that
+/// want probe *latency* time this call themselves.
+pub fn calibrate_table(
+    entries: &[CorpusEntry],
+    probe_samples: usize,
+) -> (ProfileTable, Vec<ProbeOutcome>) {
+    let mut cal = Calibrator::new(CalibrationConfig {
+        probe_samples,
+        ..CalibrationConfig::default()
+    });
+    for entry in entries {
+        cal.add_scenario(&entry.build());
+    }
+    cal.calibrate()
+}
+
+/// Runs the auto-tuned column: every corpus entry planned under the
+/// profile `table` resolves for its request class, one
+/// [`EngineKind::Auto`] cell per entry with the resolved profile, NN
+/// backend, and class id stamped on the row.
+pub fn run_auto_column(
+    entries: &[CorpusEntry],
+    table: &ProfileTable,
+    params: &PlannerParams,
+) -> Vec<MatrixCell> {
+    let mut cells = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let scenario = entry.build();
+        let res = table.resolve(&RequestClass::of_scenario(&scenario).id());
+        let t0 = Instant::now();
+        let r = plan_with_profile(&scenario, &res.profile, params);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        cells.push(MatrixCell {
+            scenario_id: entry.id(),
+            family: entry.family.name(),
+            robot: moped_scenarios::robot_slug(entry.robot),
+            scenario_seed: entry.seed,
+            engine: EngineKind::Auto,
+            solved: r.solved(),
+            path_cost: r.path_cost,
+            samples: r.stats.samples,
+            nodes: r.stats.nodes,
+            total_macs: r.stats.total_ops().mac_equiv(),
+            wall_ms,
+            profile: Some(res.profile.label()),
+            nn_backend: Some(res.profile.nn_backend.name().to_string()),
+            class_id: Some(res.class_id),
+        });
     }
     cells
 }
@@ -193,6 +272,45 @@ mod tests {
             assert_eq!(x.nodes, y.nodes);
             assert_eq!(x.total_macs, y.total_macs);
         }
+    }
+
+    #[test]
+    fn auto_column_resolves_and_stamps_profiles() {
+        let entries = vec![
+            CorpusEntry::new(Family::Shelf, RobotModel::Mobile2d, 1),
+            CorpusEntry::new(Family::Clutter, RobotModel::Drone3d, 1),
+        ];
+        let (table, probes) = calibrate_table(&entries, 150);
+        assert!(!table.is_empty());
+        assert!(!probes.is_empty());
+        let cells = run_auto_column(&entries, &table, &quick_params());
+        assert_eq!(cells.len(), entries.len());
+        for c in &cells {
+            assert_eq!(c.engine, EngineKind::Auto);
+            let class = c.class_id.as_deref().expect("auto rows carry a class");
+            assert!(class.contains("/d"), "{class}");
+            assert!(c.profile.is_some() && c.nn_backend.is_some());
+        }
+        // Deterministic modulo wall time, like the static columns.
+        let again = run_auto_column(&entries, &table, &quick_params());
+        for (x, y) in cells.iter().zip(&again) {
+            assert_eq!(x.solved, y.solved);
+            assert_eq!(x.path_cost.to_bits(), y.path_cost.to_bits());
+            assert_eq!(x.profile, y.profile);
+            assert_eq!(x.class_id, y.class_id);
+        }
+    }
+
+    #[test]
+    fn tableless_auto_engine_matches_the_static_default_stack() {
+        // Without a table, `plan_engine(Auto)` is the static default
+        // profile — i.e. the full MOPED RRT* stack, bit for bit.
+        let scenario = CorpusEntry::new(Family::Clutter, RobotModel::Mobile2d, 2).build();
+        let auto = plan_engine(&scenario, EngineKind::Auto, &quick_params());
+        let star = plan_engine(&scenario, EngineKind::MopedRrtStar, &quick_params());
+        assert_eq!(auto.solved(), star.solved());
+        assert_eq!(auto.path_cost.to_bits(), star.path_cost.to_bits());
+        assert_eq!(auto.stats.samples, star.stats.samples);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "hw",
     "env",
     "scenarios",
+    "tune",
 ];
 
 /// Static description of one rule.

@@ -441,6 +441,42 @@ fn dynamic_snapshot(robot: Robot, seed: u64) -> Scenario {
     s
 }
 
+// --- Scene signatures ---------------------------------------------------
+
+/// The raw environment signature of a scenario: the inputs the autotuner
+/// buckets into a request class. Pure function of the scene — no wall
+/// clock, no RNG — so the same scenario always signs identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SceneSig {
+    /// Number of obstacles in the scene.
+    pub obstacles: usize,
+    /// Occupied volume in integer permille of the workspace cube
+    /// (`WORKSPACE_EXTENT`³), saturating at 1000. Planar walls contribute
+    /// their true thin volume; the permille is a clutter measure, not a
+    /// physical occupancy claim.
+    pub density_permille: u32,
+    /// Robot configuration-space dimension.
+    pub dof: usize,
+}
+
+/// Computes the [`SceneSig`] of a scenario.
+pub fn scene_sig(s: &Scenario) -> SceneSig {
+    let workspace = WORKSPACE_EXTENT * WORKSPACE_EXTENT * WORKSPACE_EXTENT;
+    let occupied: f64 = s.obstacles.iter().map(|o| o.volume()).sum();
+    let permille = ((occupied / workspace) * 1000.0).round();
+    SceneSig {
+        obstacles: s.obstacles.len(),
+        density_permille: if permille < 0.0 {
+            0
+        } else if permille > 1000.0 {
+            1000
+        } else {
+            permille as u32
+        },
+        dof: s.robot.dof(),
+    }
+}
+
 // --- Shared helpers ----------------------------------------------------
 
 /// Filesystem/JSON-safe robot identifier (the display names in
@@ -700,6 +736,24 @@ mod tests {
         let local = Vec3::new(d.dot(o.axis(0)), d.dot(o.axis(1)), d.dot(o.axis(2)));
         let clamped = local.max(-h).min(h);
         (clamped - local).norm()
+    }
+
+    #[test]
+    fn scene_sig_is_deterministic_and_discriminates_families() {
+        for entry in corpus() {
+            let a = scene_sig(&entry.build());
+            let b = scene_sig(&entry.build());
+            assert_eq!(a, b, "{}: signature must be pure", entry.id());
+            assert_eq!(a.obstacles, entry.build().obstacles.len());
+            assert!(a.density_permille <= 1000);
+            assert!(a.dof >= 3);
+        }
+        // Clutter fields carry far more obstacles than a narrow passage.
+        let clutter =
+            scene_sig(&CorpusEntry::new(Family::Clutter, RobotModel::Mobile2d, 1).build());
+        let narrow =
+            scene_sig(&CorpusEntry::new(Family::NarrowPassage, RobotModel::Mobile2d, 1).build());
+        assert!(clutter.obstacles > narrow.obstacles);
     }
 
     #[test]

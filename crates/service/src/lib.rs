@@ -19,7 +19,17 @@
 //! * **Determinism under concurrency** — planning state is confined to
 //!   the worker; a request's result is a pure function of its
 //!   `(environment, params, variant)` triple, byte-identical to a serial
-//!   [`moped_core::plan_variant`] run with the same inputs.
+//!   [`moped_core::plan_variant`] run with the same inputs. On tuned
+//!   services the triple's variant slot is the resolved profile instead,
+//!   with the same guarantee against `moped_tune::plan_with_profile`.
+//! * **Autotuning** — an optional [`Tuner`] ([`ServiceConfig::tuner`])
+//!   resolves each environment's precomputed request class against a
+//!   calibrated `moped_tune::ProfileTable` at admission; the decision
+//!   picks the worker's engine/index stack, is stamped into the
+//!   [`PlanResponse`], and is counted per class in [`metrics::Metrics`].
+//!   Every [`PlanService::swap_env`] is an epoch boundary where the
+//!   tuner's hysteresis adapter may rewrite a class's profile from the
+//!   observed `moped-obs` collision-vs-NN bottleneck split.
 //! * **Deadlines and cancellation** — cooperative: the planner's stop
 //!   hook is polled every few sampling rounds, and an expired or
 //!   cancelled request returns its best-so-far anytime result instead of
@@ -81,14 +91,16 @@ mod supervisor;
 use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use moped_core::{PlanResult, PlannerParams, Variant};
 use moped_env::catalog::{build as build_scene, NamedScene};
 use moped_env::Scenario;
+use moped_obs::Bottleneck;
 use moped_robot::Robot;
 use moped_rtree::RTree;
+use moped_tune::{Adapter, AdapterConfig, ProfileSwitch, ProfileTable, RequestClass, Resolution};
 
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use metrics::Metrics;
@@ -118,6 +130,11 @@ pub struct EnvSnapshot {
     /// Precomputed SoA obstacle field for the batched narrow phase
     /// (centers / half-extents / axes extracted once at registration).
     pub soa: moped_geometry::sat::ObbSoa,
+    /// The request class this environment buckets into (robot ×
+    /// obstacle/density signature), computed once at registration so
+    /// per-request profile resolution is a map lookup, never a scene
+    /// scan.
+    pub class: String,
 }
 
 impl EnvSnapshot {
@@ -132,12 +149,14 @@ impl EnvSnapshot {
     pub fn at_epoch(name: impl Into<String>, scenario: Scenario, epoch: u64) -> Self {
         let rtree = RTree::build(&scenario.obstacles, SNAPSHOT_RTREE_FANOUT);
         let soa = scenario.prepared_obstacles();
+        let class = RequestClass::of_scenario(&scenario).id();
         EnvSnapshot {
             name: name.into(),
             epoch,
             scenario,
             rtree,
             soa,
+            class,
         }
     }
 }
@@ -321,6 +340,11 @@ pub struct PlanResponse {
     /// Planning attempts consumed (1 unless earlier attempts panicked
     /// and the retry policy re-ran the request).
     pub attempts: u32,
+    /// The profile decision this request planned under: the resolved
+    /// class, profile, and reason. `None` on untuned services
+    /// ([`ServiceConfig::tuner`] unset), where the request's [`Variant`]
+    /// drives the stack exactly as before.
+    pub profile: Option<Resolution>,
 }
 
 /// Why an admitted request terminally failed instead of being served.
@@ -518,6 +542,87 @@ impl RetryPolicy {
     }
 }
 
+/// Locks a mutex, recovering the guard even if a prior holder panicked —
+/// both tuner structures stay internally consistent across a poisoned
+/// unwind (the table is replaced atomically under its lock; the adapter
+/// only mutates plain integer streaks).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The service-side autotuner: a hot [`ProfileTable`] resolved on every
+/// admission, plus the epoch-boundary [`Adapter`] that rewrites it under
+/// hysteresis when the observed collision-vs-NN bottleneck flips.
+///
+/// Install one via [`ServiceConfig::tuner`]. Admissions then resolve the
+/// environment's request class against the table ([`Tuner::resolve`]);
+/// the decision rides on the job, selects the worker's engine/index
+/// stack, and is stamped into the [`PlanResponse`]. Every
+/// [`PlanService::swap_env`] is an epoch boundary: the tuner consumes
+/// the current `moped-obs` stage-profile snapshot for the outgoing
+/// snapshot's class and may switch that class's profile
+/// ([`Tuner::observe`]).
+///
+/// Determinism: with a pinned table and no adapter input, resolution is
+/// a pure map lookup, so every auto-tuned plan stays bit-identical and
+/// journal-replayable. Adapter switches are themselves pure functions of
+/// the quantized observation sequence — wall clock never enters.
+#[derive(Debug)]
+pub struct Tuner {
+    table: RwLock<ProfileTable>,
+    adapter: Mutex<Adapter>,
+}
+
+impl Tuner {
+    /// A tuner over `table` with the default hysteresis thresholds.
+    pub fn new(table: ProfileTable) -> Self {
+        Tuner::with_adapter(table, AdapterConfig::default())
+    }
+
+    /// A tuner over `table` with explicit adapter thresholds.
+    pub fn with_adapter(table: ProfileTable, cfg: AdapterConfig) -> Self {
+        Tuner {
+            table: RwLock::new(table),
+            adapter: Mutex::new(Adapter::new(cfg)),
+        }
+    }
+
+    /// Resolves a request class against the current table (read lock;
+    /// admission-path cost is one map lookup plus the profile clone).
+    pub fn resolve(&self, class_id: &str) -> Resolution {
+        let table = match self.table.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        table.resolve(class_id)
+    }
+
+    /// A point-in-time copy of the table (pin it to reproduce runs).
+    pub fn table(&self) -> ProfileTable {
+        match self.table.read() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Feeds one epoch-boundary bottleneck observation for `class_id`
+    /// through the hysteresis adapter, rewriting the table on a switch.
+    /// In-flight requests keep the resolution they were admitted with;
+    /// only later admissions see the new profile — the same isolation
+    /// rule environment swaps follow.
+    pub fn observe(&self, class_id: &str, b: &Bottleneck) -> Option<ProfileSwitch> {
+        let mut adapter = lock_unpoisoned(&self.adapter);
+        let mut table = match self.table.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        adapter.observe(&mut table, class_id, b)
+    }
+}
+
 /// Service tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -532,11 +637,18 @@ pub struct ServiceConfig {
     /// Optional fault-injection plan (chaos testing); `None` — the
     /// default — makes the harness completely inert.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Optional autotuner; `None` — the default — keeps the classic
+    /// variant-driven planning path byte-identical to earlier releases.
+    /// When set, every admission resolves its environment's request
+    /// class to a [`PlannerProfile`](moped_tune::PlannerProfile) and the
+    /// worker plans with that profile's engine/index stack instead of
+    /// the request's [`Variant`].
+    pub tuner: Option<Arc<Tuner>>,
 }
 
 impl Default for ServiceConfig {
     /// 4 workers, a 64-deep queue, polling every 64 rounds, no retries,
-    /// no fault injection.
+    /// no fault injection, no autotuner.
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
@@ -544,6 +656,7 @@ impl Default for ServiceConfig {
             stop_poll_every: 64,
             retry: RetryPolicy::default(),
             faults: None,
+            tuner: None,
         }
     }
 }
@@ -630,6 +743,10 @@ pub(crate) struct Job {
     pub(crate) cancel: Arc<AtomicBool>,
     pub(crate) enqueued: Instant,
     pub(crate) respond: Responder,
+    /// Admission-time profile resolution (tuned services only). Frozen
+    /// here so a concurrent table rewrite can never move an in-flight
+    /// request off the profile it was admitted with.
+    pub(crate) profile: Option<Resolution>,
 }
 
 /// The concurrent batch planning engine. See the crate docs for the
@@ -681,9 +798,27 @@ impl PlanService {
     /// Returns the slot's new epoch (also reported per-request in
     /// [`PlanResponse::epoch`]).
     pub fn swap_env(&self, id: EnvId, scenario: Scenario) -> Result<u64, RejectReason> {
-        self.catalog
+        let outgoing_class = self.catalog.get(id).map(|snap| snap.class.clone());
+        let epoch = self
+            .catalog
             .swap(id, scenario)
-            .ok_or(RejectReason::UnknownEnvironment)
+            .ok_or(RejectReason::UnknownEnvironment)?;
+        // A swap is an epoch boundary: feed the tuner the stage-profile
+        // bottleneck accumulated under the outgoing snapshot's class.
+        // Workers publish their span data when idle (and every few
+        // jobs), so the snapshot reflects recently served requests; with
+        // tracing off the snapshot is empty and this is a no-op.
+        if let (Some(tuner), Some(class)) = (self.config.tuner.as_deref(), outgoing_class) {
+            if moped_obs::enabled() {
+                moped_obs::flush();
+                if let Some(b) = moped_obs::snapshot().bottleneck() {
+                    if tuner.observe(&class, &b).is_some() {
+                        self.metrics.inc_profile_switches();
+                    }
+                }
+            }
+        }
+        Ok(epoch)
     }
 
     /// The live metrics registry (shared; clone the `Arc` to keep reading
@@ -741,6 +876,15 @@ impl PlanService {
                 }
             }
         }
+        // Tuned services resolve the environment's class to a profile at
+        // admission — a map lookup against the precomputed class id —
+        // and count the decision on the (non-worker) admission path.
+        let profile = self.config.tuner.as_deref().map(|tuner| {
+            let resolution = tuner.resolve(&env.class);
+            self.metrics
+                .record_profile_decision(&resolution.class_id, resolution.from_table);
+            resolution
+        });
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel = Arc::new(AtomicBool::new(false));
         // One-shot resolution slot: every ticket receives exactly one
@@ -759,6 +903,7 @@ impl PlanService {
             cancel: Arc::clone(&cancel),
             enqueued: now,
             respond: responder,
+            profile,
         };
         // The gauge must go up *before* the job becomes visible to the
         // pool: a worker can dequeue and decrement within nanoseconds of
@@ -966,6 +1111,8 @@ mod tests {
         assert_eq!(response.result.stats.samples, 300);
         assert_eq!(response.attempts, 1);
         assert!(!response.result.stats.stopped_early);
+        // Untuned services never stamp a profile decision.
+        assert!(response.profile.is_none());
         let metrics = service.shutdown();
         assert_eq!(metrics.accepted(), 1);
         assert_eq!(metrics.completed(), 1);
@@ -1110,6 +1257,105 @@ mod tests {
         assert_eq!(response.outcome, Outcome::Completed);
         assert_eq!(response.result.stats.samples, 150);
         service.shutdown();
+    }
+
+    #[test]
+    fn tuned_requests_resolve_profiles_and_stamp_responses() {
+        let cat = EnvironmentCatalog::standard(&Robot::mobile_2d());
+        let env = cat.find("open-meadow").unwrap();
+        let class = cat.get(env).unwrap().class.clone();
+        let mut table = ProfileTable::static_default();
+        table.insert(
+            &class,
+            moped_tune::PlannerProfile {
+                engine: moped_core::Engine::RrtConnect,
+                ..moped_tune::PlannerProfile::static_default()
+            },
+            "pinned for test",
+        );
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                tuner: Some(Arc::new(Tuner::new(table))),
+                ..Default::default()
+            },
+        );
+        let params = small_params(300, 3);
+        let response = service
+            .submit(PlanRequest::new(env, params.clone()))
+            .unwrap()
+            .wait()
+            .into_result()
+            .expect("served");
+        let res = response.profile.as_ref().expect("tuned services stamp");
+        assert!(res.from_table);
+        assert_eq!(res.class_id, class);
+        assert_eq!(res.reason, "pinned for test");
+        assert_eq!(res.profile.engine, moped_core::Engine::RrtConnect);
+
+        // Byte-identical to the serial profile path on the same inputs.
+        let scenario = service.catalog().get(env).unwrap().scenario.clone();
+        let serial = moped_tune::plan_with_profile(&scenario, &res.profile, &params);
+        assert_eq!(response.result.solved(), serial.solved());
+        assert_eq!(
+            response.result.path_cost.to_bits(),
+            serial.path_cost.to_bits()
+        );
+        assert_eq!(response.result.stats.samples, serial.stats.samples);
+
+        let metrics = service.shutdown();
+        assert_eq!(metrics.profile_decisions(), vec![(class.clone(), 1, 1)]);
+        assert_eq!(metrics.profile_switches(), 0);
+        let text = metrics.dump_text();
+        assert!(text.contains("profile_switches 0"));
+        assert!(text.contains(&format!(
+            "profile_decisions{{class=\"{class}\"}} 1 (1 from table)"
+        )));
+        let json = metrics.dump_json();
+        assert!(json.contains("\"profile_decisions\":[{\"class\":"));
+    }
+
+    #[test]
+    fn tuner_observe_applies_hysteresis_then_rewrites_the_table() {
+        let tuner = Tuner::new(ProfileTable::static_default());
+        let class = "mobile_2d/d3/o-few/v-thin";
+        let collision_bound = Bottleneck {
+            collision_q256: 220,
+            nn_q256: 10,
+            instrumented_ticks: 5_000,
+        };
+        // Hysteresis: the first epoch arms the streak, the second commits.
+        assert!(tuner.observe(class, &collision_bound).is_none());
+        let switch = tuner
+            .observe(class, &collision_bound)
+            .expect("switch on the second consecutive epoch");
+        assert_eq!(switch.to.engine, moped_core::Engine::RrtConnect);
+        let res = tuner.resolve(class);
+        assert!(res.from_table);
+        assert!(res.reason.starts_with("adapter: "));
+        // The snapshot copy carries the rewrite.
+        assert!(tuner.table().resolve(class).from_table);
+    }
+
+    #[test]
+    fn swap_env_with_a_tuner_is_an_epoch_boundary_noop_without_traces() {
+        let mut cat = EnvironmentCatalog::new();
+        let epochs = moped_scenarios::dynamic_epochs(moped_robot::RobotModel::Mobile2d, 2, 3, 2.5);
+        let env = cat.register("drifting-clutter", epochs[0].clone());
+        let service = PlanService::start(
+            cat,
+            ServiceConfig {
+                workers: 1,
+                tuner: Some(Arc::new(Tuner::new(ProfileTable::static_default()))),
+                ..Default::default()
+            },
+        );
+        // With obs tracing off there is no bottleneck evidence, so the
+        // swap must succeed without consulting the adapter.
+        assert_eq!(service.swap_env(env, epochs[1].clone()), Ok(1));
+        let metrics = service.shutdown();
+        assert_eq!(metrics.profile_switches(), 0);
     }
 
     #[test]

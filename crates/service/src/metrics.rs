@@ -19,7 +19,9 @@
 //! (respawns, injected faults) stay global: they are touched by the
 //! client thread or the supervisor, not the hot worker loop.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use moped_core::PlanStats;
@@ -315,6 +317,14 @@ pub struct Metrics {
     worker_respawns: AtomicU64,
     faults_injected: AtomicU64,
     queue_depth: AtomicU64,
+    profile_switches: AtomicU64,
+    probe_time_us: AtomicU64,
+    /// Profile decisions by request class (admission path only — the
+    /// client thread takes this lock, never a worker; the map is the one
+    /// string-keyed instrument in the registry, so it lives behind a
+    /// mutex instead of forcing classes into a fixed table). BTreeMap
+    /// keeps dumps in stable class order.
+    profile_decisions: Mutex<BTreeMap<String, (u64, u64)>>,
     shards: Box<[WorkerMetrics]>,
 }
 
@@ -351,6 +361,9 @@ impl Metrics {
             worker_respawns: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            profile_switches: AtomicU64::new(0),
+            probe_time_us: AtomicU64::new(0),
+            profile_decisions: Mutex::new(BTreeMap::new()),
             shards,
         }
     }
@@ -366,6 +379,47 @@ impl Metrics {
         /// Faults fired by the configured `FaultPlan` (always zero when
         /// the harness is unconfigured).
         faults_injected / inc_faults_injected,
+        /// Profile switches committed by the autotuner's epoch-boundary
+        /// adapter (always zero on untuned services).
+        profile_switches / inc_profile_switches,
+    }
+
+    /// Records one admission-time profile decision for `class_id`
+    /// (`from_table` marks calibrated hits vs. default fallbacks).
+    /// Admission path only: workers never touch the decision map.
+    pub(crate) fn record_profile_decision(&self, class_id: &str, from_table: bool) {
+        let mut map = match self.profile_decisions.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let entry = map.entry(class_id.to_string()).or_insert((0, 0));
+        entry.0 += 1;
+        if from_table {
+            entry.1 += 1;
+        }
+    }
+
+    /// Profile decisions by request class, in class order:
+    /// `(class, decisions, table_hits)`. Empty on untuned services.
+    pub fn profile_decisions(&self) -> Vec<(String, u64, u64)> {
+        let map = match self.profile_decisions.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        map.iter().map(|(k, &(n, h))| (k.clone(), n, h)).collect()
+    }
+
+    /// Adds calibration-probe wall time (callers time their
+    /// `Calibrator::calibrate` run and deposit it here — probe latency
+    /// is an observation about calibration, never an input to it).
+    pub fn record_probe_time(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        self.probe_time_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total calibration-probe wall time recorded.
+    pub fn probe_time(&self) -> Duration {
+        Duration::from_micros(self.probe_time_us.load(Ordering::Relaxed))
     }
 
     /// Worker `idx`'s private shard (clamped, so a respawned worker with
@@ -522,6 +576,16 @@ impl Metrics {
             "queue_wait_p99_us",
             queue_wait.quantile(0.99).as_micros().to_string(),
         );
+        // Autotuner decisions (aggregate-on-read: the per-class map is
+        // folded here, never on the per-request path).
+        kv("profile_switches", self.profile_switches().to_string());
+        kv("probe_time_us", self.probe_time().as_micros().to_string());
+        for (class, decisions, hits) in self.profile_decisions() {
+            kv(
+                &format!("profile_decisions{{class=\"{class}\"}}"),
+                format!("{decisions} ({hits} from table)"),
+            );
+        }
         // When stage tracing is on, the dump carries the merged per-stage
         // profile (admission, queue wait, attempts, and every planner
         // stage the workers recorded).
@@ -580,6 +644,23 @@ impl Metrics {
                 queue_wait.quantile(0.99).as_micros().to_string(),
             ),
         ];
+        fields.push((
+            "profile_switches".into(),
+            self.profile_switches().to_string(),
+        ));
+        fields.push((
+            "probe_time_us".into(),
+            self.probe_time().as_micros().to_string(),
+        ));
+        let decisions = self
+            .profile_decisions()
+            .iter()
+            .map(|(class, n, hits)| {
+                format!("{{\"class\":\"{class}\",\"decisions\":{n},\"table_hits\":{hits}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        fields.push(("profile_decisions".into(), format!("[{decisions}]")));
         let buckets = latency
             .bucket_counts()
             .iter()

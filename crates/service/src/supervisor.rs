@@ -396,6 +396,7 @@ fn serve_job(
         service_time,
         worker: worker_idx,
         attempts: attempt,
+        profile: job.profile.clone(),
     };
     job.respond.send(PlanOutcome::Served(response));
 }
@@ -449,6 +450,10 @@ fn execute(
     let scenario = &job.env.scenario;
     let dim = scenario.robot.dof();
     let (two_stage, simbr, sias, lci) = variant_components(job.variant);
+    // A resolved profile overrides the variant's stack and always runs
+    // the full two-stage collision path (profiles only vary the engine
+    // and neighbor index — the tuner's levers).
+    let two_stage = two_stage || job.profile.is_some();
     let cancel = Arc::clone(&job.cancel);
     let deadline_at = job.deadline_at;
     let stop =
@@ -470,7 +475,22 @@ fn execute(
         &naive
     };
 
-    if simbr {
+    if let Some(resolution) = &job.profile {
+        // The tuned path: the admission-time resolution picks the
+        // engine, neighbor backend, and parameter policies. Identical to
+        // a serial `moped_tune::plan_with_profile` run modulo the shared
+        // checker snapshot.
+        let profile = &resolution.profile;
+        RrtStar::new(
+            scenario,
+            checker,
+            profile.build_index(dim),
+            profile.apply(&job.params),
+        )
+        .with_engine(profile.engine)
+        .with_stop_hook(poll_every, stop)
+        .plan()
+    } else if simbr {
         let index = SimbrIndex::new(dim, 6, sias, lci);
         RrtStar::new(scenario, checker, index, job.params.clone())
             .with_stop_hook(poll_every, stop)

@@ -1,0 +1,165 @@
+//! The [`RequestClass`]: the bucketed (robot × environment) key profiles
+//! are resolved under.
+//!
+//! The raw signature ([`SceneSig`]) lives in `moped-scenarios` so scene
+//! generators stay tuner-agnostic; this module owns the bucketing, which
+//! is deliberately coarse — classes exist to share calibration results
+//! across similar requests, not to memorize individual scenes.
+
+use moped_env::Scenario;
+use moped_scenarios::{robot_slug, scene_sig, SceneSig};
+
+/// Obstacle-count bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObstacleBucket {
+    /// Fewer than 12 obstacles (walls, doors, sparse blocks).
+    Few,
+    /// 12–47 obstacles (structured interiors, mazes).
+    Mid,
+    /// 48 or more obstacles (clutter fields).
+    Many,
+}
+
+impl ObstacleBucket {
+    /// Buckets a raw obstacle count.
+    pub fn of(count: usize) -> ObstacleBucket {
+        if count < 12 {
+            ObstacleBucket::Few
+        } else if count < 48 {
+            ObstacleBucket::Mid
+        } else {
+            ObstacleBucket::Many
+        }
+    }
+
+    /// Stable id fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObstacleBucket::Few => "o-few",
+            ObstacleBucket::Mid => "o-mid",
+            ObstacleBucket::Many => "o-many",
+        }
+    }
+}
+
+/// Occupied-volume bucket (integer permille of the workspace cube).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DensityBucket {
+    /// Under 3‰ occupied — thin walls, sparse fields.
+    Thin,
+    /// 3–19‰ occupied.
+    Mid,
+    /// 20‰ or more occupied.
+    Dense,
+}
+
+impl DensityBucket {
+    /// Buckets a raw permille value.
+    pub fn of(permille: u32) -> DensityBucket {
+        if permille < 3 {
+            DensityBucket::Thin
+        } else if permille < 20 {
+            DensityBucket::Mid
+        } else {
+            DensityBucket::Dense
+        }
+    }
+
+    /// Stable id fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            DensityBucket::Thin => "v-thin",
+            DensityBucket::Mid => "v-mid",
+            DensityBucket::Dense => "v-dense",
+        }
+    }
+}
+
+/// The request class a profile is resolved under: robot kind × bucketed
+/// environment signature. A pure function of the scene — never of wall
+/// clock, request order, or load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RequestClass {
+    /// Robot slug (`mobile_2d`, `drone_3d`, `xarm7`, …).
+    pub robot: &'static str,
+    /// Configuration-space dimension.
+    pub dof: usize,
+    /// Obstacle-count bucket.
+    pub obstacles: ObstacleBucket,
+    /// Occupied-volume bucket.
+    pub density: DensityBucket,
+}
+
+impl RequestClass {
+    /// Buckets a raw signature for a robot.
+    pub fn from_sig(robot: &'static str, sig: SceneSig) -> RequestClass {
+        RequestClass {
+            robot,
+            dof: sig.dof,
+            obstacles: ObstacleBucket::of(sig.obstacles),
+            density: DensityBucket::of(sig.density_permille),
+        }
+    }
+
+    /// Classifies a scenario directly (signature + robot slug).
+    pub fn of_scenario(s: &Scenario) -> RequestClass {
+        RequestClass::from_sig(robot_slug(s.robot.model()), scene_sig(s))
+    }
+
+    /// Stable class id, e.g. `mobile_2d/d3/o-mid/v-thin` — the key used
+    /// in [`crate::ProfileTable`], metrics, and bench JSON.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/d{}/{}/{}",
+            self.robot,
+            self.dof,
+            self.obstacles.name(),
+            self.density.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moped_robot::RobotModel;
+    use moped_scenarios::{CorpusEntry, Family};
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(ObstacleBucket::of(0), ObstacleBucket::Few);
+        assert_eq!(ObstacleBucket::of(11), ObstacleBucket::Few);
+        assert_eq!(ObstacleBucket::of(12), ObstacleBucket::Mid);
+        assert_eq!(ObstacleBucket::of(47), ObstacleBucket::Mid);
+        assert_eq!(ObstacleBucket::of(48), ObstacleBucket::Many);
+        assert_eq!(DensityBucket::of(0), DensityBucket::Thin);
+        assert_eq!(DensityBucket::of(2), DensityBucket::Thin);
+        assert_eq!(DensityBucket::of(3), DensityBucket::Mid);
+        assert_eq!(DensityBucket::of(19), DensityBucket::Mid);
+        assert_eq!(DensityBucket::of(20), DensityBucket::Dense);
+    }
+
+    #[test]
+    fn class_id_is_stable_and_deterministic() {
+        let entry = CorpusEntry::new(Family::Shelf, RobotModel::Mobile2d, 1);
+        let a = RequestClass::of_scenario(&entry.build());
+        let b = RequestClass::of_scenario(&entry.build());
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert!(a.id().starts_with("mobile_2d/d3/"));
+    }
+
+    #[test]
+    fn corpus_maps_to_a_handful_of_classes() {
+        use std::collections::BTreeSet;
+        let mut classes = BTreeSet::new();
+        for entry in moped_scenarios::corpus() {
+            classes.insert(RequestClass::of_scenario(&entry.build()).id());
+        }
+        // Coarse bucketing: far fewer classes than scenarios, but more
+        // than one per robot (the signature must discriminate *something*
+        // about the environment).
+        assert!(classes.len() >= 4, "classes: {classes:?}");
+        assert!(classes.len() <= 15, "classes: {classes:?}");
+    }
+}

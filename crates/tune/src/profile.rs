@@ -1,0 +1,252 @@
+//! The [`PlannerProfile`]: one complete planner configuration, the unit
+//! the tuner selects, serializes, and applies.
+
+use moped_core::{AnyIndex, Engine, NeighborIndex, NnBackend, PlannerParams};
+
+/// Neighborhood-radius policy: a multiplier on the RRT\* rewiring-radius
+/// scale `gamma` (the radius itself stays clamped by the planner).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RadiusPolicy {
+    /// Leave the caller's `rewire_gamma` untouched.
+    Default,
+    /// Halve `gamma`: smaller neighborhoods, cheaper rewiring, for
+    /// NN-bound workloads.
+    Tight,
+    /// Double `gamma`: wider neighborhoods, better paths, for scenes
+    /// where collision checks are cheap.
+    Wide,
+}
+
+impl RadiusPolicy {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RadiusPolicy::Default => "default",
+            RadiusPolicy::Tight => "tight",
+            RadiusPolicy::Wide => "wide",
+        }
+    }
+
+    /// Parses [`RadiusPolicy::name`] output.
+    pub fn parse(s: &str) -> Option<RadiusPolicy> {
+        match s {
+            "default" => Some(RadiusPolicy::Default),
+            "tight" => Some(RadiusPolicy::Tight),
+            "wide" => Some(RadiusPolicy::Wide),
+            _ => None,
+        }
+    }
+
+    /// The `gamma` multiplier this policy applies.
+    pub fn scale(self) -> f64 {
+        match self {
+            RadiusPolicy::Default => 1.0,
+            RadiusPolicy::Tight => 0.5,
+            RadiusPolicy::Wide => 2.0,
+        }
+    }
+}
+
+/// Sample-budget policy: whether the profile caps the caller's budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Use the caller's `max_samples` unchanged.
+    Inherit,
+    /// Cap `max_samples` at this value (never raises it).
+    Cap(u32),
+}
+
+impl BudgetPolicy {
+    /// Stable wire form: `inherit` or `cap:N`.
+    pub fn wire(self) -> String {
+        match self {
+            BudgetPolicy::Inherit => "inherit".to_string(),
+            BudgetPolicy::Cap(n) => format!("cap:{n}"),
+        }
+    }
+
+    /// Parses [`BudgetPolicy::wire`] output.
+    pub fn parse(s: &str) -> Option<BudgetPolicy> {
+        if s == "inherit" {
+            return Some(BudgetPolicy::Inherit);
+        }
+        s.strip_prefix("cap:")
+            .and_then(|n| n.parse().ok())
+            .map(BudgetPolicy::Cap)
+    }
+}
+
+/// One complete planner configuration: the engine, the NN backend and its
+/// SIAS switch, the neighborhood-radius policy, and the sample budget.
+///
+/// Profiles are plain values with a stable comma-delimited wire form (the
+/// workspace has no serialization dependency); [`PlannerProfile::apply`]
+/// and [`PlannerProfile::build_index`] turn one into a runnable planner
+/// stack. Determinism contract: a profile never carries wall-clock or
+/// host-dependent state, so (profile, scenario, params) fixes the plan
+/// bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannerProfile {
+    /// Planner engine (RRT\*, RRT-Connect, multi-tree).
+    pub engine: Engine,
+    /// Neighbor-index backend.
+    pub nn_backend: NnBackend,
+    /// Steering-informed approximated search (SI-MBR backend only).
+    pub sias: bool,
+    /// Rewiring-radius policy.
+    pub radius: RadiusPolicy,
+    /// Sample-budget policy.
+    pub budget: BudgetPolicy,
+}
+
+impl PlannerProfile {
+    /// The static default the service planned every request with before
+    /// the tuner existed: RRT\* on the full MOPED stack (V4).
+    pub fn static_default() -> PlannerProfile {
+        PlannerProfile {
+            engine: Engine::RrtStar,
+            nn_backend: NnBackend::SiMbr,
+            sias: true,
+            radius: RadiusPolicy::Default,
+            budget: BudgetPolicy::Inherit,
+        }
+    }
+
+    /// Human/bench label, e.g. `rrt-connect/si-mbr+sias+lci`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.engine.name(), self.build_index(3).name())
+    }
+
+    /// Builds the neighbor index this profile prescribes for a
+    /// `dim`-dimensional configuration space. The SI-MBR backend always
+    /// keeps LCI on (O(1) insertion is never a regression); `sias` only
+    /// affects SI-MBR.
+    pub fn build_index(&self, dim: usize) -> AnyIndex {
+        self.nn_backend.build(dim, self.sias, true)
+    }
+
+    /// Applies the radius and budget policies to caller-supplied planner
+    /// parameters; everything else passes through untouched.
+    pub fn apply(&self, base: &PlannerParams) -> PlannerParams {
+        let mut p = base.clone();
+        p.rewire_gamma = base.rewire_gamma * self.radius.scale();
+        if let BudgetPolicy::Cap(n) = self.budget {
+            p.max_samples = p.max_samples.min(n as usize);
+        }
+        p
+    }
+
+    /// Stable wire form: `engine,nn,sias,radius,budget`.
+    pub fn serialize(&self) -> String {
+        format!(
+            "{},{},{},{},{}",
+            self.engine.name(),
+            self.nn_backend.name(),
+            u8::from(self.sias),
+            self.radius.name(),
+            self.budget.wire()
+        )
+    }
+
+    /// Parses [`PlannerProfile::serialize`] output.
+    pub fn parse(s: &str) -> Result<PlannerProfile, String> {
+        let fields: Vec<&str> = s.split(',').collect();
+        if fields.len() != 5 {
+            return Err(format!("profile `{s}`: expected 5 fields"));
+        }
+        let engine = Engine::all()
+            .into_iter()
+            .find(|e| e.name() == fields[0])
+            .ok_or_else(|| format!("profile `{s}`: unknown engine `{}`", fields[0]))?;
+        let nn_backend = NnBackend::parse(fields[1])
+            .ok_or_else(|| format!("profile `{s}`: unknown backend `{}`", fields[1]))?;
+        let sias = match fields[2] {
+            "1" => true,
+            "0" => false,
+            other => return Err(format!("profile `{s}`: bad sias flag `{other}`")),
+        };
+        let radius = RadiusPolicy::parse(fields[3])
+            .ok_or_else(|| format!("profile `{s}`: unknown radius policy `{}`", fields[3]))?;
+        let budget = BudgetPolicy::parse(fields[4])
+            .ok_or_else(|| format!("profile `{s}`: bad budget `{}`", fields[4]))?;
+        Ok(PlannerProfile {
+            engine,
+            nn_backend,
+            sias,
+            radius,
+            budget,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips_every_field_combination() {
+        for engine in Engine::all() {
+            for nn_backend in NnBackend::ALL {
+                for sias in [false, true] {
+                    for radius in [
+                        RadiusPolicy::Default,
+                        RadiusPolicy::Tight,
+                        RadiusPolicy::Wide,
+                    ] {
+                        for budget in [BudgetPolicy::Inherit, BudgetPolicy::Cap(400)] {
+                            let p = PlannerProfile {
+                                engine,
+                                nn_backend,
+                                sias,
+                                radius,
+                                budget,
+                            };
+                            assert_eq!(PlannerProfile::parse(&p.serialize()), Ok(p));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_wire() {
+        for bad in [
+            "",
+            "rrt-star,si-mbr,1,default",
+            "warp-drive,si-mbr,1,default,inherit",
+            "rrt-star,hash-grid,1,default,inherit",
+            "rrt-star,si-mbr,2,default,inherit",
+            "rrt-star,si-mbr,1,galactic,inherit",
+            "rrt-star,si-mbr,1,default,cap:x",
+        ] {
+            assert!(PlannerProfile::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn static_default_is_the_v4_stack() {
+        let p = PlannerProfile::static_default();
+        assert_eq!(p.engine, Engine::RrtStar);
+        assert_eq!(p.build_index(4).name(), "si-mbr+sias+lci");
+        assert_eq!(p.label(), "rrt-star/si-mbr+sias+lci");
+    }
+
+    #[test]
+    fn apply_scales_gamma_and_caps_budget() {
+        let base = PlannerParams {
+            max_samples: 1000,
+            rewire_gamma: 40.0,
+            ..PlannerParams::default()
+        };
+        let mut p = PlannerProfile::static_default();
+        p.radius = RadiusPolicy::Wide;
+        p.budget = BudgetPolicy::Cap(300);
+        let applied = p.apply(&base);
+        assert_eq!(applied.rewire_gamma, 80.0);
+        assert_eq!(applied.max_samples, 300);
+        // A cap larger than the caller's budget never raises it.
+        p.budget = BudgetPolicy::Cap(5000);
+        assert_eq!(p.apply(&base).max_samples, 1000);
+    }
+}

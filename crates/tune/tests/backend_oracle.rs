@@ -1,0 +1,161 @@
+//! NN-backend equivalence oracle: the three index backends the tuner
+//! switches between must agree on nearest neighbors and (in exact mode)
+//! on neighborhood sets, on seeded point clouds across every robot's
+//! configuration dimension. This is the guard under the tuner's backend
+//! switching: a profile change may trade *time*, never *answers*.
+
+use moped_core::{AnyIndex, NeighborIndex, NnBackend};
+use moped_geometry::{Config, OpCount};
+use moped_robot::{Robot, RobotModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every robot model's DoF, deduplicated by hand in the loops below.
+const MODELS: [RobotModel; 5] = [
+    RobotModel::Mobile2d,
+    RobotModel::Drone3d,
+    RobotModel::ViperX300,
+    RobotModel::Rozum,
+    RobotModel::XArm7,
+];
+
+fn seeded_cloud(n: usize, dim: usize, seed: u64) -> Vec<Config> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(-40.0..40.0)).collect();
+            Config::new(&coords)
+        })
+        .collect()
+}
+
+/// Inserts points the way the planner does: each point's `near_hint` is
+/// the current nearest (the steering anchor), so LCI placement runs.
+fn fill(index: &mut AnyIndex, pts: &[Config]) {
+    let mut ops = OpCount::default();
+    for (i, p) in pts.iter().enumerate() {
+        let hint = index.nearest(p, &mut ops).map(|(id, _)| id);
+        index.insert(i as u64, *p, hint, &mut ops);
+    }
+}
+
+fn sorted_ids(set: &[(u64, Config)]) -> Vec<u64> {
+    let mut ids: Vec<u64> = set.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn backends_agree_on_nearest_across_all_robot_dims() {
+    for model in MODELS {
+        let dim = Robot::from_model(model).dof();
+        let pts = seeded_cloud(240, dim, 0xD1CE_0000 + dim as u64);
+        let queries = seeded_cloud(40, dim, 0xBEEF_0000 + dim as u64);
+        let mut linear = NnBackend::Linear.build(dim, false, false);
+        let mut kd = NnBackend::Kd.build(dim, false, false);
+        // Exact SI-MBR (SIAS off) and the full MOPED config: `nearest`
+        // is exact in both (SIAS only changes `neighborhood`).
+        let mut simbr_exact = NnBackend::SiMbr.build(dim, false, false);
+        let mut simbr_moped = NnBackend::SiMbr.build(dim, true, true);
+        for idx in [&mut linear, &mut kd, &mut simbr_exact, &mut simbr_moped] {
+            fill(idx, &pts);
+        }
+        let mut ops = OpCount::default();
+        for q in &queries {
+            let (want_id, want_d) = linear.nearest(q, &mut ops).expect("cloud is non-empty");
+            for idx in [&kd, &simbr_exact, &simbr_moped] {
+                let (id, d) = idx.nearest(q, &mut ops).expect("cloud is non-empty");
+                assert!(
+                    (d - want_d).abs() < 1e-9,
+                    "dim {dim}: {} nearest distance {d} != linear {want_d}",
+                    idx.name()
+                );
+                // Equidistant pairs may legitimately resolve differently;
+                // identical distance with a different id is acceptable
+                // only if the two points are truly equidistant.
+                if id != want_id {
+                    let a = pts[id as usize].distance(q);
+                    let b = pts[want_id as usize].distance(q);
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "dim {dim}: {} tie mismatch",
+                        idx.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_backends_agree_on_neighborhood_sets_across_all_robot_dims() {
+    for model in MODELS {
+        let dim = Robot::from_model(model).dof();
+        let pts = seeded_cloud(200, dim, 0xFACE_0000 + dim as u64);
+        let mut linear = NnBackend::Linear.build(dim, false, false);
+        let mut kd = NnBackend::Kd.build(dim, false, false);
+        let mut simbr_exact = NnBackend::SiMbr.build(dim, false, false);
+        for idx in [&mut linear, &mut kd, &mut simbr_exact] {
+            fill(idx, &pts);
+        }
+        let mut ops = OpCount::default();
+        let queries = seeded_cloud(12, dim, 0xF00D_0000 + dim as u64);
+        for (qi, q) in queries.iter().enumerate() {
+            // Radius chosen per-dim so the sets are non-trivially sized.
+            for radius in [6.0, 14.0 + dim as f64 * 4.0] {
+                let want = sorted_ids(&linear.neighborhood(0, q, radius, &mut ops));
+                for idx in [&kd, &simbr_exact] {
+                    let got = sorted_ids(&idx.neighborhood(0, q, radius, &mut ops));
+                    assert_eq!(
+                        got,
+                        want,
+                        "dim {dim} query {qi} r {radius}: {} neighborhood diverges",
+                        idx.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sias_neighborhood_contains_its_anchor_across_all_robot_dims() {
+    // The SIAS backend is *approximate* by contract: it returns the
+    // anchor's leaf group. The invariant the planner relies on is that
+    // the anchor itself is always present (the tree stays connected).
+    for model in MODELS {
+        let dim = Robot::from_model(model).dof();
+        let pts = seeded_cloud(180, dim, 0xA11C_0000 + dim as u64);
+        let mut sias = NnBackend::SiMbr.build(dim, true, true);
+        fill(&mut sias, &pts);
+        let mut ops = OpCount::default();
+        for anchor in [0u64, 7, 91, 179] {
+            let group = sias.neighborhood(anchor, &pts[anchor as usize], 8.0, &mut ops);
+            assert!(
+                group.iter().any(|(id, _)| *id == anchor),
+                "dim {dim}: SIAS group lost its anchor {anchor}"
+            );
+        }
+    }
+}
+
+#[test]
+fn moped_index_insertion_order_does_not_change_nearest_answers() {
+    // LCI places points next to their steering anchor, so tree *shape*
+    // depends on insertion order — answers must not.
+    let dim = 6;
+    let pts = seeded_cloud(160, dim, 0x06DE_6000);
+    let mut fwd = NnBackend::SiMbr.build(dim, true, true);
+    fill(&mut fwd, &pts);
+    let mut rev = NnBackend::SiMbr.build(dim, true, true);
+    let mut ops = OpCount::default();
+    for (i, p) in pts.iter().enumerate().rev() {
+        let hint = rev.nearest(p, &mut ops).map(|(id, _)| id);
+        rev.insert(i as u64, *p, hint, &mut ops);
+    }
+    for q in seeded_cloud(25, dim, 0x5EED_0001) {
+        let a = fwd.nearest(&q, &mut ops).expect("non-empty").1;
+        let b = rev.nearest(&q, &mut ops).expect("non-empty").1;
+        assert!((a - b).abs() < 1e-9, "insertion order changed nearest");
+    }
+}

@@ -44,6 +44,7 @@ fn main() {
         stop_poll_every: 64,
         retry: RetryPolicy::attempts(2).with_backoff(Duration::from_millis(1)),
         faults: Some(faults),
+        tuner: None,
     };
     let workers = config.workers;
     let service = PlanService::start(catalog, config);

@@ -40,7 +40,10 @@ echo "== planner_bench --smoke =="
 cargo run --release -q -p moped-bench --bin planner_bench -- \
     --smoke --out target/planner_smoke.json
 
-echo "== corpus_bench --smoke =="
+echo "== corpus_bench --smoke (autotuning gate) =="
+# The binary enforces the smoke acceptance gate: the auto-tuned column
+# (per-class calibrated profiles, probe budget 160) must solve at least
+# as many smoke scenarios as the static MOPED RRT* stack.
 cargo run --release -q -p moped-bench --bin corpus_bench -- \
     --smoke --out target/corpus_smoke.json
 

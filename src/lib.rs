@@ -60,4 +60,5 @@ pub use moped_rtree as rtree;
 pub use moped_scenarios as scenarios;
 pub use moped_service as service;
 pub use moped_simbr as simbr;
+pub use moped_tune as tune;
 pub use moped_viz as viz;

@@ -114,14 +114,21 @@ fn disabled_tracing_costs_under_two_percent_of_a_plan() {
         obs::reset();
         assert!(spans_opened > 0, "workload opened no spans");
 
-        // Price one disabled span (construct + drop) in isolation.
-        let reps: u64 = 2_000_000;
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            let s = obs::span(obs::Stage::Round);
-            std::hint::black_box(&s);
-        }
-        let per_span = t0.elapsed().as_secs_f64() / reps as f64;
+        // Price one disabled span (construct + drop) in isolation. Take
+        // the minimum over several batches: the bound is about the span's
+        // inherent cost, and min-of-batches discards descheduling noise
+        // when sibling test binaries contend for the CPU.
+        let reps: u64 = 250_000;
+        let per_span = (0..8)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    let s = obs::span(obs::Stage::Round);
+                    std::hint::black_box(&s);
+                }
+                t0.elapsed().as_secs_f64() / reps as f64
+            })
+            .fold(f64::INFINITY, f64::min);
 
         // Time the same plan with tracing disabled.
         let t1 = Instant::now();
